@@ -1,0 +1,24 @@
+//! Measures the wall-clock cost of the full IOLB analysis per kernel
+//! (the paper reports sub-second analysis per benchmark; this bench verifies
+//! we are in the same regime).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iolb_core::analyze;
+
+fn analysis_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_time");
+    group.sample_size(10);
+    for name in ["gemm", "cholesky", "lu", "jacobi-1d", "atax", "floyd-warshall"] {
+        let kernel = iolb_polybench::kernel_by_name(name).expect("known kernel");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let analysis = analyze(&kernel.dfg, &kernel.analysis_options());
+                std::hint::black_box(analysis.q_low.to_string())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, analysis_time);
+criterion_main!(benches);

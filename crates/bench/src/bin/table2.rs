@@ -1,0 +1,23 @@
+//! Regenerates Table 2 (Appendix C): for every PolyBench kernel, the complete
+//! lower-bound formula produced by the analysis and its asymptotic
+//! simplification.
+
+use iolb_core::{analyze, Report};
+
+fn main() {
+    println!("Table 2 — complete and asymptotic lower-bound formulae");
+    for kernel in iolb_polybench::all_kernels() {
+        let analysis = analyze(&kernel.dfg, &kernel.analysis_options());
+        let report = Report::new(kernel.name, analysis, Some(kernel.ops.clone()));
+        println!("== {} ==", kernel.name);
+        println!("  Q_low      = {}", report.analysis.q_low);
+        println!("  Q_low (∞)  = {}", report.analysis.q_asymptotic());
+        if let Some(oi) = &report.oi {
+            if let Some(up) = &oi.oi_up {
+                println!("  OI_up (∞)  = {}", up);
+            }
+        }
+        println!("  paper OI_up = {}", kernel.paper_oi_up_desc);
+        println!();
+    }
+}

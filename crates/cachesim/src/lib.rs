@@ -1,0 +1,324 @@
+//! # iolb-cachesim
+//!
+//! A small two-level memory-hierarchy simulator — the stand-in for the Dinero
+//! cache simulator used in Sec. 8.2 of the paper to measure the *achieved*
+//! operational intensity of compiler-tiled schedules.
+//!
+//! The model matches the paper's idealised setting: a fast memory of `S`
+//! words in front of an infinite slow memory, with either LRU replacement
+//! (what a real cache does) or Belady/optimal replacement (what an explicitly
+//! managed scratchpad could achieve). The simulator consumes a word-granular
+//! address trace and reports the number of loads from slow memory.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// Statistics of one simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total number of accesses in the trace.
+    pub accesses: u64,
+    /// Number of misses, i.e. loads from slow memory.
+    pub misses: u64,
+    /// Number of hits served from fast memory.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Achieved operational intensity given a number of arithmetic
+    /// operations: `ops / misses` (flops per word moved).
+    pub fn operational_intensity(&self, ops: f64) -> f64 {
+        if self.misses == 0 {
+            f64::INFINITY
+        } else {
+            ops / self.misses as f64
+        }
+    }
+}
+
+/// A fully-associative LRU fast memory of `capacity` words.
+///
+/// # Examples
+///
+/// ```
+/// use iolb_cachesim::LruCache;
+/// let mut cache = LruCache::new(2);
+/// cache.access(1);
+/// cache.access(2);
+/// cache.access(1); // hit
+/// cache.access(3); // evicts 2
+/// cache.access(2); // miss again
+/// assert_eq!(cache.stats().misses, 4);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    // Address -> last-use timestamp.
+    resident: HashMap<u64, u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl LruCache {
+    /// Creates a cache holding `capacity` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            capacity,
+            resident: HashMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Accesses one word; returns `true` on a hit.
+    pub fn access(&mut self, address: u64) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        if self.resident.contains_key(&address) {
+            self.resident.insert(address, self.clock);
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if self.resident.len() >= self.capacity {
+            // Evict the least recently used word.
+            if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &ts)| ts) {
+                self.resident.remove(&victim);
+            }
+        }
+        self.resident.insert(address, self.clock);
+        false
+    }
+
+    /// Runs a whole trace.
+    pub fn run(&mut self, trace: &[u64]) -> CacheStats {
+        for &a in trace {
+            self.access(a);
+        }
+        self.stats
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// Simulates a trace under LRU replacement with `capacity` words of fast
+/// memory.
+pub fn simulate_lru(trace: &[u64], capacity: usize) -> CacheStats {
+    LruCache::new(capacity).run(trace)
+}
+
+/// Simulates a trace under Belady's optimal (furthest-next-use) replacement —
+/// the idealised explicitly-controlled cache assumed for `OI_manual`.
+pub fn simulate_optimal(trace: &[u64], capacity: usize) -> CacheStats {
+    assert!(capacity > 0, "cache capacity must be positive");
+    // Precompute, for each position, the next use of the same address.
+    let mut next_use = vec![usize::MAX; trace.len()];
+    let mut last_pos: HashMap<u64, usize> = HashMap::new();
+    for (i, &a) in trace.iter().enumerate().rev() {
+        next_use[i] = last_pos.get(&a).copied().unwrap_or(usize::MAX);
+        last_pos.insert(a, i);
+    }
+    let mut resident: HashMap<u64, usize> = HashMap::new(); // address -> next use
+    let mut stats = CacheStats::default();
+    for (i, &a) in trace.iter().enumerate() {
+        stats.accesses += 1;
+        if resident.contains_key(&a) {
+            stats.hits += 1;
+            resident.insert(a, next_use[i]);
+            continue;
+        }
+        stats.misses += 1;
+        if resident.len() >= capacity {
+            // Evict the resident word whose next use is furthest away.
+            if let Some((&victim, _)) = resident.iter().max_by_key(|(_, &nu)| nu) {
+                resident.remove(&victim);
+            }
+        }
+        resident.insert(a, next_use[i]);
+    }
+    stats
+}
+
+/// A tiny helper for building word-granular address traces for multi-array
+/// programs: each array gets a disjoint base address.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    trace: Vec<u64>,
+    next_base: u64,
+    bases: HashMap<String, (u64, Vec<u64>)>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Declares an array with the given dimension sizes, returning its handle.
+    pub fn array(&mut self, name: &str, dims: &[u64]) -> ArrayHandle {
+        let size: u64 = dims.iter().product::<u64>().max(1);
+        let base = self.next_base;
+        self.next_base += size;
+        self.bases.insert(name.to_string(), (base, dims.to_vec()));
+        ArrayHandle {
+            name: name.to_string(),
+        }
+    }
+
+    /// Records an access to `array[indices]`.
+    pub fn touch(&mut self, array: &ArrayHandle, indices: &[u64]) {
+        let (base, dims) = self
+            .bases
+            .get(&array.name)
+            .unwrap_or_else(|| panic!("unknown array {}", array.name));
+        assert_eq!(indices.len(), dims.len(), "index arity mismatch");
+        let mut offset = 0u64;
+        for (k, &i) in indices.iter().enumerate() {
+            debug_assert!(i < dims[k], "index out of bounds");
+            offset = offset * dims[k] + i;
+        }
+        self.trace.push(base + offset);
+    }
+
+    /// The accumulated trace.
+    pub fn trace(&self) -> &[u64] {
+        &self.trace
+    }
+
+    /// Consumes the builder, returning the trace.
+    pub fn into_trace(self) -> Vec<u64> {
+        self.trace
+    }
+
+    /// Number of accesses recorded so far.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Returns true if no access has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+}
+
+/// Handle to an array declared in a [`TraceBuilder`].
+#[derive(Clone, Debug)]
+pub struct ArrayHandle {
+    name: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_streaming_misses_everything() {
+        let trace: Vec<u64> = (0..1000).collect();
+        let stats = simulate_lru(&trace, 64);
+        assert_eq!(stats.misses, 1000);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.miss_ratio(), 1.0);
+    }
+
+    #[test]
+    fn lru_reuse_within_capacity_hits() {
+        let mut trace: Vec<u64> = (0..32).collect();
+        trace.extend(0..32);
+        let stats = simulate_lru(&trace, 64);
+        assert_eq!(stats.misses, 32);
+        assert_eq!(stats.hits, 32);
+    }
+
+    #[test]
+    fn lru_cyclic_thrashing() {
+        // Classic LRU pathology: cycling over capacity+1 addresses misses
+        // every time.
+        let mut trace = Vec::new();
+        for _ in 0..10 {
+            for a in 0..65u64 {
+                trace.push(a);
+            }
+        }
+        let stats = simulate_lru(&trace, 64);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn optimal_beats_lru_on_thrashing() {
+        let mut trace = Vec::new();
+        for _ in 0..10 {
+            for a in 0..65u64 {
+                trace.push(a);
+            }
+        }
+        let lru = simulate_lru(&trace, 64);
+        let opt = simulate_optimal(&trace, 64);
+        assert!(opt.misses < lru.misses);
+        assert_eq!(opt.accesses, lru.accesses);
+    }
+
+    #[test]
+    fn optimal_never_worse_than_lru_random() {
+        // Pseudo-random trace (deterministic LCG).
+        let mut x: u64 = 12345;
+        let trace: Vec<u64> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) % 256
+            })
+            .collect();
+        let lru = simulate_lru(&trace, 64);
+        let opt = simulate_optimal(&trace, 64);
+        assert!(opt.misses <= lru.misses);
+    }
+
+    #[test]
+    fn operational_intensity_computation() {
+        let stats = CacheStats {
+            accesses: 100,
+            misses: 25,
+            hits: 75,
+        };
+        assert_eq!(stats.operational_intensity(100.0), 4.0);
+    }
+
+    #[test]
+    fn trace_builder_addresses_are_disjoint() {
+        let mut tb = TraceBuilder::new();
+        let a = tb.array("A", &[4, 4]);
+        let b = tb.array("B", &[4]);
+        tb.touch(&a, &[0, 0]);
+        tb.touch(&a, &[3, 3]);
+        tb.touch(&b, &[0]);
+        let t = tb.trace();
+        assert_eq!(t[0], 0);
+        assert_eq!(t[1], 15);
+        assert_eq!(t[2], 16);
+        assert_eq!(tb.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_is_rejected() {
+        let _ = LruCache::new(0);
+    }
+}

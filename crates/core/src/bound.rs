@@ -1,0 +1,182 @@
+//! Derived lower bounds and their bookkeeping.
+//!
+//! Every proof technique (K-partition, wavefront) produces a [`LowerBound`]:
+//! a symbolic expression that is a valid lower bound on the I/O of a
+//! sub-CDAG, together with the *may-spill* set of that sub-CDAG
+//! (Definition 4.1), which governs when bounds for different sub-CDAGs can be
+//! summed (Lemma 4.2).
+
+use iolb_poly::UnionSet;
+use iolb_symbol::Expr;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The proof technique that produced a bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Technique {
+    /// The K-partition / Brascamp–Lieb geometric argument (Sec. 5).
+    Partition,
+    /// The wavefront argument (Sec. 6).
+    Wavefront,
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Technique::Partition => write!(f, "K-partition"),
+            Technique::Wavefront => write!(f, "wavefront"),
+        }
+    }
+}
+
+/// A valid parametric lower bound on the I/O of a sub-CDAG.
+#[derive(Clone, Debug)]
+pub struct LowerBound {
+    /// The bound expression (a function of the program parameters and `S`).
+    pub expr: Expr,
+    /// The may-spill set of the sub-CDAG the bound applies to.
+    pub may_spill: UnionSet,
+    /// Which technique produced the bound.
+    pub technique: Technique,
+    /// The statement the reasoning was centred on.
+    pub statement: String,
+    /// Human-readable notes describing how the bound was derived (the "proof
+    /// sketch" that the tool emits, per the paper's proof-environment view).
+    pub notes: Vec<String>,
+}
+
+impl LowerBound {
+    /// A trivial zero bound (useful as the neutral element when combining).
+    pub fn zero(statement: &str, technique: Technique) -> Self {
+        LowerBound {
+            expr: Expr::zero(),
+            may_spill: UnionSet::empty(),
+            technique,
+            statement: statement.to_string(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Evaluates the bound at a concrete parameter instance (used by the
+    /// combination heuristics of Algorithm 1; the symbolic bound itself stays
+    /// valid for all parameter values).
+    pub fn evaluate(&self, instance: &Instance) -> f64 {
+        self.expr
+            .eval_f64(&instance.as_f64_env())
+            .unwrap_or(0.0)
+            .max(0.0)
+    }
+
+    /// Returns true if the bound is identically zero.
+    pub fn is_trivial(&self) -> bool {
+        self.expr.is_zero()
+    }
+}
+
+impl fmt::Display for LowerBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} @ {}] Q >= {}", self.technique, self.statement, self.expr)
+    }
+}
+
+/// A concrete assignment of the program parameters and the cache size,
+/// used only for the heuristic decisions of Sec. 7.2 (the emitted bounds are
+/// valid for every parameter value).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Instance {
+    values: BTreeMap<String, i128>,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Instance::default()
+    }
+
+    /// Builds an instance from `(name, value)` pairs.
+    pub fn from_pairs(pairs: &[(&str, i128)]) -> Self {
+        Instance {
+            values: pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    /// Sets one parameter value.
+    pub fn set(mut self, name: &str, value: i128) -> Self {
+        self.values.insert(name.to_string(), value);
+        self
+    }
+
+    /// Gets a parameter value.
+    pub fn get(&self, name: &str) -> Option<i128> {
+        self.values.get(name).copied()
+    }
+
+    /// All `(name, value)` pairs.
+    pub fn pairs(&self) -> Vec<(String, i128)> {
+        self.values.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// View as an `f64` evaluation environment.
+    pub fn as_f64_env(&self) -> BTreeMap<String, f64> {
+        self.values
+            .iter()
+            .map(|(k, v)| (k.clone(), *v as f64))
+            .collect()
+    }
+
+    /// View as the `(&str, i128)` slice shape used by the polyhedral layer.
+    pub fn as_param_slice(&self) -> Vec<(String, i128)> {
+        self.pairs()
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolb_symbol::Poly;
+
+    #[test]
+    fn instance_roundtrip() {
+        let inst = Instance::from_pairs(&[("N", 100), ("S", 64)]).set("M", 50);
+        assert_eq!(inst.get("N"), Some(100));
+        assert_eq!(inst.get("M"), Some(50));
+        assert_eq!(inst.get("X"), None);
+        assert_eq!(inst.pairs().len(), 3);
+    }
+
+    #[test]
+    fn bound_evaluation_clamps_at_zero() {
+        let expr = Expr::from_poly(Poly::param("N") - Poly::param("S"));
+        let b = LowerBound {
+            expr,
+            may_spill: UnionSet::empty(),
+            technique: Technique::Wavefront,
+            statement: "S1".to_string(),
+            notes: vec![],
+        };
+        let small = Instance::from_pairs(&[("N", 10), ("S", 100)]);
+        let big = Instance::from_pairs(&[("N", 1000), ("S", 100)]);
+        assert_eq!(b.evaluate(&small), 0.0);
+        assert_eq!(b.evaluate(&big), 900.0);
+    }
+
+    #[test]
+    fn zero_bound_is_trivial() {
+        let b = LowerBound::zero("S", Technique::Partition);
+        assert!(b.is_trivial());
+        assert_eq!(b.to_string(), "[K-partition @ S] Q >= 0");
+    }
+}

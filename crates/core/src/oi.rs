@@ -1,0 +1,158 @@
+//! Operational-intensity bounds derived from an analysis (Sec. 8).
+//!
+//! `OI_up = #ops / Q_low` upper-bounds the operational intensity of every
+//! valid schedule; comparing it with a machine balance `MB` tells whether the
+//! computation can ever become compute-bound on that machine.
+
+use crate::driver::Analysis;
+use iolb_symbol::{asymptotic, Expr, Poly};
+use std::collections::BTreeMap;
+
+/// An operational-intensity summary for one kernel.
+#[derive(Clone, Debug)]
+pub struct OiSummary {
+    /// Symbolic operation count.
+    pub ops: Poly,
+    /// The complete lower bound `Q_low`.
+    pub q_low: Expr,
+    /// The asymptotically dominant form `Q∞`.
+    pub q_asymptotic: Poly,
+    /// The asymptotic upper bound on operational intensity, when the
+    /// asymptotic `Q∞` is a single monomial.
+    pub oi_up: Option<Poly>,
+    /// Name of the cache parameter.
+    pub cache_param: String,
+}
+
+impl OiSummary {
+    /// Builds the summary from an analysis, overriding the operation count
+    /// if the kernel provides a more precise one than the DFG-derived count.
+    pub fn from_analysis(analysis: &Analysis, ops_override: Option<Poly>) -> Option<OiSummary> {
+        let ops = ops_override.or_else(|| analysis.total_ops.clone())?;
+        let q_asymptotic = analysis.q_asymptotic();
+        let oi_up = asymptotic::asymptotic_ratio(&ops, &analysis.q_low, &analysis.cache_param);
+        Some(OiSummary {
+            ops,
+            q_low: analysis.q_low.clone(),
+            q_asymptotic,
+            oi_up,
+            cache_param: analysis.cache_param.clone(),
+        })
+    }
+
+    /// Evaluates `OI_up` numerically at a parameter instance (flops/word).
+    ///
+    /// Falls back to `#ops / Q_low` evaluated numerically when the symbolic
+    /// ratio is unavailable.
+    pub fn oi_at(&self, params: &[(&str, i128)]) -> Option<f64> {
+        let env: BTreeMap<String, f64> = params
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v as f64))
+            .collect();
+        let ops = self.ops.eval_f64(&env)?;
+        let q = self.q_low.eval_f64(&env)?;
+        if q <= 0.0 {
+            return None;
+        }
+        Some(ops / q)
+    }
+
+    /// Classifies the kernel against a machine balance `mb` (flops/word) at a
+    /// parameter instance: `ComputeBound` if even the achieved OI of a
+    /// baseline schedule exceeds `mb`, `BandwidthBound` if even `OI_up` is
+    /// below `mb`, `Open` otherwise (Sec. 8.2's three scenarios).
+    pub fn classify(&self, achieved_oi: f64, mb: f64, params: &[(&str, i128)]) -> Regime {
+        let oi_up = self.oi_at(params).unwrap_or(f64::INFINITY);
+        if oi_up < mb {
+            Regime::BandwidthBound
+        } else if achieved_oi >= mb {
+            Regime::ComputeBound
+        } else {
+            Regime::Open
+        }
+    }
+}
+
+/// The three scenarios of Sec. 8.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Regime {
+    /// The achieved OI already exceeds the machine balance.
+    ComputeBound,
+    /// Even the OI upper bound is below the machine balance: no schedule can
+    /// make the kernel compute-bound.
+    BandwidthBound,
+    /// The machine balance falls between the achieved OI and the upper
+    /// bound: there may be room for improvement.
+    Open,
+}
+
+impl std::fmt::Display for Regime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Regime::ComputeBound => write!(f, "compute-bound"),
+            Regime::BandwidthBound => write!(f, "bandwidth-bound"),
+            Regime::Open => write!(f, "open"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolb_math::rat;
+
+    fn summary() -> OiSummary {
+        // gemm-like: ops = 2N^3, Q = 3N^2 + max(0, 2N^3/sqrt(S) - 4 sqrt(2 S)).
+        let n = Poly::param("N");
+        let s = Poly::param("S");
+        let ops = Poly::int(2) * n.clone() * n.clone() * n.clone();
+        let partition = Poly::int(2)
+            * n.clone()
+            * n.clone()
+            * n.clone()
+            * s.pow_rational(rat(-1, 2)).unwrap()
+            - Poly::int(4) * s.clone();
+        let q_low = Expr::from_poly(Poly::int(3) * n.clone() * n.clone())
+            + Expr::from_poly(partition).max_with_zero();
+        let q_asymptotic = asymptotic::simplify(&q_low, "S");
+        let oi_up = asymptotic::asymptotic_ratio(&ops, &q_low, "S");
+        OiSummary {
+            ops,
+            q_low,
+            q_asymptotic,
+            oi_up,
+            cache_param: "S".to_string(),
+        }
+    }
+
+    #[test]
+    fn symbolic_oi_is_sqrt_s() {
+        let s = summary();
+        assert_eq!(s.oi_up.unwrap().to_string(), "S^(1/2)");
+        assert_eq!(s.q_asymptotic.to_string(), "2*N^3*S^(-1/2)");
+    }
+
+    #[test]
+    fn numeric_oi_and_classification() {
+        let s = summary();
+        let params = [("N", 2048i128), ("S", 32768i128)];
+        let oi = s.oi_at(&params).unwrap();
+        // Close to sqrt(S) ≈ 181 for large N.
+        assert!(oi > 100.0 && oi < 200.0, "oi = {oi}");
+        assert_eq!(s.classify(30.0, 8.0, &params), Regime::ComputeBound);
+        assert_eq!(s.classify(2.0, 8.0, &params), Regime::Open);
+        assert_eq!(s.classify(2.0, 1000.0, &params), Regime::BandwidthBound);
+    }
+
+    #[test]
+    fn oi_is_none_for_zero_q() {
+        let s = OiSummary {
+            ops: Poly::param("N"),
+            q_low: Expr::zero(),
+            q_asymptotic: Poly::zero(),
+            oi_up: None,
+            cache_param: "S".to_string(),
+        };
+        assert!(s.oi_at(&[("N", 10), ("S", 4)]).is_none());
+    }
+}

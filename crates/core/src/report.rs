@@ -1,0 +1,103 @@
+//! Human-readable reports: the "proof environment" output of IOLB.
+//!
+//! The paper frames the tool as a proof environment: the output should let a
+//! reader review how a bound was derived. [`Report`] collects the analysis
+//! result, the accepted sub-bounds with their derivation notes, and the OI
+//! summary, and renders them as text.
+
+use crate::driver::Analysis;
+use crate::oi::OiSummary;
+use std::fmt;
+
+/// A reviewable report for one analysed kernel.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Kernel name.
+    pub kernel: String,
+    /// The underlying analysis.
+    pub analysis: Analysis,
+    /// Operational-intensity summary (when the operation count is known).
+    pub oi: Option<OiSummary>,
+}
+
+impl Report {
+    /// Builds a report from an analysis.
+    pub fn new(kernel: &str, analysis: Analysis, ops_override: Option<iolb_symbol::Poly>) -> Self {
+        let oi = OiSummary::from_analysis(&analysis, ops_override);
+        Report {
+            kernel: kernel.to_string(),
+            analysis,
+            oi,
+        }
+    }
+
+    /// One-line summary: kernel, asymptotic bound, asymptotic OI.
+    pub fn summary_line(&self) -> String {
+        let q = self.analysis.q_asymptotic();
+        let oi = self
+            .oi
+            .as_ref()
+            .and_then(|o| o.oi_up.clone())
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "-".to_string());
+        format!("{:<16} Q∞ = {:<28} OI_up = {}", self.kernel, q.to_string(), oi)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kernel: {}", self.kernel)?;
+        writeln!(f, "  Q_low  = {}", self.analysis.q_low)?;
+        writeln!(f, "  Q∞     = {}", self.analysis.q_asymptotic())?;
+        writeln!(f, "  inputs = {}", self.analysis.input_size)?;
+        if let Some(oi) = &self.oi {
+            writeln!(f, "  #ops   = {}", oi.ops)?;
+            if let Some(up) = &oi.oi_up {
+                writeln!(f, "  OI_up  = {}", up)?;
+            }
+        }
+        writeln!(
+            f,
+            "  accepted sub-bounds: {} (of {} candidates)",
+            self.analysis.accepted.len(),
+            self.analysis.candidates.len()
+        )?;
+        for b in &self.analysis.accepted {
+            writeln!(f, "    - {}", b)?;
+            for note in &b.notes {
+                writeln!(f, "        {note}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{analyze, AnalysisOptions};
+    use iolb_dfg::Dfg;
+
+    fn simple() -> Dfg {
+        Dfg::builder()
+            .input("X", "[N] -> { X[i] : 0 <= i < N }")
+            .statement("S", "[N] -> { S[i] : 0 <= i < N }")
+            .edge("X", "S", "[N] -> { X[i] -> S[i2] : i2 = i and 0 <= i < N }")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn report_renders() {
+        let g = simple();
+        let options = AnalysisOptions::with_default_instance(&["N"], 1000, 128);
+        let analysis = analyze(&g, &options);
+        let report = Report::new("copy", analysis, None);
+        let text = report.to_string();
+        assert!(text.contains("kernel: copy"));
+        assert!(text.contains("Q_low"));
+        let line = report.summary_line();
+        assert!(line.contains("copy"));
+        assert!(line.contains("OI_up"));
+    }
+}

@@ -1,0 +1,464 @@
+//! Dense matrices over exact rationals.
+//!
+//! Provides the small amount of exact linear algebra IOLB needs: Gaussian
+//! elimination, rank, null-space computation, solving linear systems and
+//! row-space manipulation. Matrices here are tiny (dimensions bounded by the
+//! loop depth of the analysed program, typically ≤ 6), so a dense `Vec`
+//! representation with no blocking is the right choice.
+
+use crate::rational::Rational;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense matrix of [`Rational`] entries in row-major order.
+///
+/// # Examples
+///
+/// ```
+/// use iolb_math::{Matrix, Rational};
+/// let m = Matrix::from_rows(&[
+///     vec![Rational::from_int(1), Rational::from_int(2)],
+///     vec![Rational::from_int(2), Rational::from_int(4)],
+/// ]);
+/// assert_eq!(m.rank(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![Rational::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Rational::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of equal-length rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: &[Vec<Rational>]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have equal length"
+        );
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flat_map(|r| r.iter().copied()).collect(),
+        }
+    }
+
+    /// Builds a matrix from integer rows.
+    pub fn from_int_rows(rows: &[Vec<i128>]) -> Self {
+        let rat_rows: Vec<Vec<Rational>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&x| Rational::from_int(x)).collect())
+            .collect();
+        Matrix::from_rows(&rat_rows)
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns row `i` as a vector.
+    pub fn row(&self, i: usize) -> Vec<Rational> {
+        self.data[i * self.cols..(i + 1) * self.cols].to_vec()
+    }
+
+    /// Returns column `j` as a vector.
+    pub fn col(&self, j: usize) -> Vec<Rational> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the number of columns (unless
+    /// the matrix is empty, in which case the row defines the width).
+    pub fn push_row(&mut self, row: Vec<Rational>) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "row length mismatch");
+        self.data.extend(row);
+        self.rows += 1;
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not agree.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matrix product");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    pub fn mul_vec(&self, v: &[Rational]) -> Vec<Rational> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch in matrix-vector product");
+        (0..self.rows)
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| self[(i, j)] * v[j])
+                    .sum::<Rational>()
+            })
+            .collect()
+    }
+
+    /// Reduces the matrix to reduced row echelon form in place and returns the
+    /// list of pivot column indices.
+    pub fn rref_in_place(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut r = 0;
+        for c in 0..self.cols {
+            if r >= self.rows {
+                break;
+            }
+            // Find a pivot row.
+            let mut pivot = None;
+            for i in r..self.rows {
+                if !self[(i, c)].is_zero() {
+                    pivot = Some(i);
+                    break;
+                }
+            }
+            let Some(p) = pivot else { continue };
+            self.swap_rows(r, p);
+            let inv = self[(r, c)].recip();
+            for j in c..self.cols {
+                self[(r, j)] *= inv;
+            }
+            for i in 0..self.rows {
+                if i != r && !self[(i, c)].is_zero() {
+                    let f = self[(i, c)];
+                    for j in c..self.cols {
+                        let sub = f * self[(r, j)];
+                        self[(i, j)] -= sub;
+                    }
+                }
+            }
+            pivots.push(c);
+            r += 1;
+        }
+        pivots
+    }
+
+    /// Returns the reduced row echelon form and pivot columns, leaving `self`
+    /// untouched.
+    pub fn rref(&self) -> (Matrix, Vec<usize>) {
+        let mut m = self.clone();
+        let p = m.rref_in_place();
+        (m, p)
+    }
+
+    /// The rank of the matrix.
+    pub fn rank(&self) -> usize {
+        self.rref().1.len()
+    }
+
+    /// A basis for the null space (kernel) of the matrix, as a list of column
+    /// vectors `v` with `self * v = 0`.
+    pub fn null_space(&self) -> Vec<Vec<Rational>> {
+        let (r, pivots) = self.rref();
+        let mut basis = Vec::new();
+        let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+        for free in 0..self.cols {
+            if pivot_set.contains(&free) {
+                continue;
+            }
+            let mut v = vec![Rational::ZERO; self.cols];
+            v[free] = Rational::ONE;
+            for (row_idx, &pc) in pivots.iter().enumerate() {
+                v[pc] = -r[(row_idx, free)];
+            }
+            basis.push(v);
+        }
+        basis
+    }
+
+    /// A basis for the row space, as the non-zero rows of the RREF.
+    pub fn row_space_basis(&self) -> Vec<Vec<Rational>> {
+        let (r, pivots) = self.rref();
+        (0..pivots.len()).map(|i| r.row(i)).collect()
+    }
+
+    /// Solves `self * x = b` returning any solution, or `None` if inconsistent.
+    pub fn solve(&self, b: &[Rational]) -> Option<Vec<Rational>> {
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let mut aug = Matrix::zeros(self.rows, self.cols + 1);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                aug[(i, j)] = self[(i, j)];
+            }
+            aug[(i, self.cols)] = b[i];
+        }
+        let pivots = aug.rref_in_place();
+        // Inconsistent if a pivot lands in the augmented column.
+        if pivots.contains(&self.cols) {
+            return None;
+        }
+        let mut x = vec![Rational::ZERO; self.cols];
+        for (row_idx, &pc) in pivots.iter().enumerate() {
+            x[pc] = aug[(row_idx, self.cols)];
+        }
+        Some(x)
+    }
+
+    /// Swaps two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(a * self.cols + j, b * self.cols + j);
+        }
+    }
+
+    /// Determinant of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn det(&self) -> Rational {
+        assert_eq!(self.rows, self.cols, "determinant of non-square matrix");
+        let n = self.rows;
+        let mut m = self.clone();
+        let mut det = Rational::ONE;
+        for c in 0..n {
+            let mut pivot = None;
+            for i in c..n {
+                if !m[(i, c)].is_zero() {
+                    pivot = Some(i);
+                    break;
+                }
+            }
+            let Some(p) = pivot else {
+                return Rational::ZERO;
+            };
+            if p != c {
+                m.swap_rows(c, p);
+                det = -det;
+            }
+            det *= m[(c, c)];
+            let inv = m[(c, c)].recip();
+            for i in (c + 1)..n {
+                if m[(i, c)].is_zero() {
+                    continue;
+                }
+                let f = m[(i, c)] * inv;
+                for j in c..n {
+                    let sub = f * m[(c, j)];
+                    m[(i, j)] -= sub;
+                }
+            }
+        }
+        det
+    }
+
+    /// Returns true if every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|x| x.is_zero())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = Rational;
+    fn index(&self, (i, j): (usize, usize)) -> &Rational {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Rational {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::rat;
+
+    fn m(rows: &[Vec<i128>]) -> Matrix {
+        Matrix::from_int_rows(rows)
+    }
+
+    #[test]
+    fn identity_and_index() {
+        let id = Matrix::identity(3);
+        assert_eq!(id[(0, 0)], Rational::ONE);
+        assert_eq!(id[(0, 1)], Rational::ZERO);
+        assert_eq!(id.rank(), 3);
+        assert_eq!(id.det(), Rational::ONE);
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        let a = m(&[vec![1, 2, 3], vec![2, 4, 6], vec![1, 0, 1]]);
+        assert_eq!(a.rank(), 2);
+    }
+
+    #[test]
+    fn rank_of_zero_matrix() {
+        assert_eq!(Matrix::zeros(3, 4).rank(), 0);
+    }
+
+    #[test]
+    fn null_space_dimension() {
+        // x + y + z = 0 has a 2-dimensional kernel.
+        let a = m(&[vec![1, 1, 1]]);
+        let ns = a.null_space();
+        assert_eq!(ns.len(), 2);
+        for v in &ns {
+            let prod: Rational = (0..3).map(|j| a[(0, j)] * v[j]).sum();
+            assert!(prod.is_zero());
+        }
+    }
+
+    #[test]
+    fn null_space_of_full_rank_is_empty() {
+        let a = Matrix::identity(4);
+        assert!(a.null_space().is_empty());
+    }
+
+    #[test]
+    fn solve_consistent() {
+        let a = m(&[vec![1, 1], vec![1, -1]]);
+        let b = vec![rat(3, 1), rat(1, 1)];
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x, vec![rat(2, 1), rat(1, 1)]);
+    }
+
+    #[test]
+    fn solve_inconsistent() {
+        let a = m(&[vec![1, 1], vec![2, 2]]);
+        let b = vec![rat(1, 1), rat(3, 1)];
+        assert!(a.solve(&b).is_none());
+    }
+
+    #[test]
+    fn solve_underdetermined() {
+        let a = m(&[vec![1, 1, 0]]);
+        let b = vec![rat(5, 1)];
+        let x = a.solve(&b).unwrap();
+        let lhs: Rational = (0..3).map(|j| a[(0, j)] * x[j]).sum();
+        assert_eq!(lhs, rat(5, 1));
+    }
+
+    #[test]
+    fn determinant() {
+        let a = m(&[vec![2, 0], vec![0, 3]]);
+        assert_eq!(a.det(), rat(6, 1));
+        let b = m(&[vec![1, 2], vec![2, 4]]);
+        assert_eq!(b.det(), Rational::ZERO);
+        let c = m(&[vec![0, 1], vec![1, 0]]);
+        assert_eq!(c.det(), rat(-1, 1));
+    }
+
+    #[test]
+    fn multiplication() {
+        let a = m(&[vec![1, 2], vec![3, 4]]);
+        let b = m(&[vec![0, 1], vec![1, 0]]);
+        let c = a.mul(&b);
+        assert_eq!(c, m(&[vec![2, 1], vec![4, 3]]));
+        let v = a.mul_vec(&[rat(1, 1), rat(1, 1)]);
+        assert_eq!(v, vec![rat(3, 1), rat(7, 1)]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = m(&[vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().num_rows(), 3);
+    }
+
+    #[test]
+    fn row_space_basis_is_independent() {
+        let a = m(&[vec![1, 2, 3], vec![2, 4, 6], vec![0, 1, 1]]);
+        let basis = a.row_space_basis();
+        assert_eq!(basis.len(), 2);
+        let bm = Matrix::from_rows(&basis);
+        assert_eq!(bm.rank(), 2);
+    }
+
+    #[test]
+    fn push_row_grows() {
+        let mut a = Matrix::zeros(0, 0);
+        a.push_row(vec![rat(1, 1), rat(0, 1)]);
+        a.push_row(vec![rat(0, 1), rat(1, 1)]);
+        assert_eq!(a.rank(), 2);
+    }
+}

@@ -1,0 +1,414 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! All polyhedral and linear-algebra computations in IOLB are performed with
+//! exact rational numbers so that emptiness tests, ranks and optimal simplex
+//! pivots are never subject to floating-point error. The magnitudes appearing
+//! in affine programs (loop bounds, access coefficients, Brascamp–Lieb
+//! exponents) are tiny, so an `i128` numerator/denominator pair is ample.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Greatest common divisor of two non-negative integers.
+pub fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple of two integers (result is non-negative).
+pub fn lcm(a: i128, b: i128) -> i128 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).abs() * b.abs()
+}
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use iolb_math::Rational;
+/// let a = Rational::new(1, 3);
+/// let b = Rational::new(1, 6);
+/// assert_eq!(a + b, Rational::new(1, 2));
+/// assert_eq!((a * b).to_string(), "1/18");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// The rational number zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a new rational `num / den`, normalised to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let mut r = Rational { num, den };
+        r.normalize();
+        r
+    }
+
+    /// Creates an integer rational `n / 1`.
+    pub const fn from_int(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    fn normalize(&mut self) {
+        if self.den < 0 {
+            self.num = -self.num;
+            self.den = -self.den;
+        }
+        let g = gcd(self.num, self.den);
+        if g > 1 {
+            self.num /= g;
+            self.den /= g;
+        }
+        if self.num == 0 {
+            self.den = 1;
+        }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if this rational is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if this rational is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns `true` if this rational is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Returns `true` if this rational is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> i128 {
+        -((-*self).floor())
+    }
+
+    /// Converts to an `f64` approximation.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Raises to an integer power (negative powers allowed for non-zero values).
+    pub fn pow(&self, exp: i32) -> Rational {
+        if exp == 0 {
+            return Rational::ONE;
+        }
+        let base = if exp < 0 { self.recip() } else { *self };
+        let mut out = Rational::ONE;
+        for _ in 0..exp.unsigned_abs() {
+            out *= base;
+        }
+        out
+    }
+
+    /// The minimum of two rationals.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The maximum of two rationals.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(n: i128) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::from_int(n as i128)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        // Reduce before multiplying to keep magnitudes small.
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        Rational::new(
+            self.num * lhs_scale + rhs.num * rhs_scale,
+            self.den * lhs_scale,
+        )
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        Rational::new(
+            (self.num / g1) * (rhs.num / g2),
+            (self.den / g2) * (rhs.den / g1),
+        )
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // den > 0 on both sides, so cross-multiplication preserves order.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl std::iter::Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::iter::Product for Rational {
+    fn product<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ONE, |a, b| a * b)
+    }
+}
+
+/// Convenience constructor: `rat(n, d)` is `Rational::new(n, d)`.
+pub fn rat(num: i128, den: i128) -> Rational {
+    Rational::new(num, den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 6), 0);
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, -7), Rational::ZERO);
+        assert_eq!(Rational::new(0, 7).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = rat(1, 3);
+        let b = rat(1, 6);
+        assert_eq!(a + b, rat(1, 2));
+        assert_eq!(a - b, rat(1, 6));
+        assert_eq!(a * b, rat(1, 18));
+        assert_eq!(a / b, rat(2, 1));
+        assert_eq!(-a, rat(-1, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert_eq!(rat(2, 4).cmp(&rat(1, 2)), Ordering::Equal);
+        assert_eq!(rat(3, 4).max(rat(2, 3)), rat(3, 4));
+        assert_eq!(rat(3, 4).min(rat(2, 3)), rat(2, 3));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(rat(7, 2).floor(), 3);
+        assert_eq!(rat(7, 2).ceil(), 4);
+        assert_eq!(rat(-7, 2).floor(), -4);
+        assert_eq!(rat(-7, 2).ceil(), -3);
+        assert_eq!(rat(6, 2).floor(), 3);
+        assert_eq!(rat(6, 2).ceil(), 3);
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(rat(2, 3).pow(2), rat(4, 9));
+        assert_eq!(rat(2, 3).pow(-1), rat(3, 2));
+        assert_eq!(rat(2, 3).pow(0), Rational::ONE);
+        assert_eq!(rat(5, 7).recip(), rat(7, 5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(rat(4, 2).to_string(), "2");
+        assert_eq!(rat(-3, 6).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn sums_and_products() {
+        let v = vec![rat(1, 2), rat(1, 3), rat(1, 6)];
+        let s: Rational = v.iter().copied().sum();
+        assert_eq!(s, Rational::ONE);
+        let p: Rational = v.iter().copied().product();
+        assert_eq!(p, rat(1, 36));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Rational::from(3i32), rat(3, 1));
+        assert_eq!(Rational::from(3i64), rat(3, 1));
+        assert!((rat(1, 3).to_f64() - 0.3333333333).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,481 @@
+//! Basic (convex) parametric integer sets.
+
+use crate::affine::{Constraint, ConstraintKind, LinExpr};
+use crate::fm;
+use crate::set::Set;
+use crate::space::Space;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A conjunction of affine constraints over the dimensions of a [`Space`] and
+/// named parameters: a single parametric Z-polyhedron.
+///
+/// # Examples
+///
+/// ```
+/// use iolb_poly::{BasicSet, Space};
+/// // { S[i, j] : 0 <= i < N and 0 <= j <= i }
+/// let s = BasicSet::universe(Space::new("S", &["i", "j"]))
+///     .ge0_var(0)
+///     .lt_param(0, "N")
+///     .ge0_var(1)
+///     .le_var(1, 0);
+/// assert!(!s.is_empty());
+/// assert!(s.contains(&[3, 2], &[("N", 10)]));
+/// assert!(!s.contains(&[3, 4], &[("N", 10)]));
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct BasicSet {
+    space: Space,
+    constraints: Vec<Constraint>,
+}
+
+impl BasicSet {
+    /// The unconstrained set over a space.
+    pub fn universe(space: Space) -> Self {
+        BasicSet {
+            space,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Builds a set from explicit constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any constraint's arity differs from the space dimension.
+    pub fn from_constraints(space: Space, constraints: Vec<Constraint>) -> Self {
+        for c in &constraints {
+            assert_eq!(c.expr.num_vars(), space.dim(), "constraint arity mismatch");
+        }
+        BasicSet { space, constraints }
+    }
+
+    /// The space of the set.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// The dimensionality of the set's space.
+    pub fn dim(&self) -> usize {
+        self.space.dim()
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds a constraint (builder style).
+    pub fn constrain(mut self, c: Constraint) -> Self {
+        assert_eq!(c.expr.num_vars(), self.dim(), "constraint arity mismatch");
+        self.constraints.push(c);
+        self
+    }
+
+    /// Convenience builder: dimension `i ≥ 0`.
+    pub fn ge0_var(self, i: usize) -> Self {
+        let n = self.dim();
+        self.constrain(Constraint::ge0(LinExpr::var(n, i)))
+    }
+
+    /// Convenience builder: dimension `i ≥ c`.
+    pub fn ge_const(self, i: usize, c: i128) -> Self {
+        let n = self.dim();
+        self.constrain(Constraint::ge0(
+            LinExpr::var(n, i).sub(&LinExpr::constant(n, c)),
+        ))
+    }
+
+    /// Convenience builder: dimension `i < p` for a parameter `p`.
+    pub fn lt_param(self, i: usize, p: &str) -> Self {
+        let n = self.dim();
+        self.constrain(Constraint::ge0(
+            LinExpr::param(n, p)
+                .sub(&LinExpr::var(n, i))
+                .sub(&LinExpr::constant(n, 1)),
+        ))
+    }
+
+    /// Convenience builder: dimension `i ≤ dimension j`.
+    pub fn le_var(self, i: usize, j: usize) -> Self {
+        let n = self.dim();
+        self.constrain(Constraint::ge0(LinExpr::var(n, j).sub(&LinExpr::var(n, i))))
+    }
+
+    /// Convenience builder: fixes dimension `i` to the parameter `p`
+    /// (the loop-parametrization operation of Sec. 4.3).
+    pub fn fix_dim_to_param(self, i: usize, p: &str) -> Self {
+        let n = self.dim();
+        self.constrain(Constraint::eq(
+            LinExpr::var(n, i).sub(&LinExpr::param(n, p)),
+        ))
+    }
+
+    /// Convenience builder: fixes dimension `i` to a constant.
+    pub fn fix_dim(self, i: usize, c: i128) -> Self {
+        let n = self.dim();
+        self.constrain(Constraint::eq(
+            LinExpr::var(n, i).sub(&LinExpr::constant(n, c)),
+        ))
+    }
+
+    /// Renames a parameter throughout the constraints.
+    pub fn rename_param(&self, from: &str, to: &str) -> BasicSet {
+        BasicSet {
+            space: self.space.clone(),
+            constraints: self
+                .constraints
+                .iter()
+                .map(|c| Constraint {
+                    expr: c.expr.rename_param(from, to),
+                    kind: c.kind,
+                })
+                .collect(),
+        }
+    }
+
+    /// Adds a parameter-only constraint (arity 0) as an assumption on the set.
+    pub fn constrain_params(&self, c: &Constraint) -> BasicSet {
+        assert_eq!(c.expr.num_vars(), 0, "expected a parameter-only constraint");
+        let lifted = Constraint {
+            expr: c.expr.remap_vars(self.dim(), &[]),
+            kind: c.kind,
+        };
+        self.clone().constrain(lifted)
+    }
+
+    /// Returns true if the set has no rational point for any parameter value
+    /// (and therefore no integer point).
+    pub fn is_empty(&self) -> bool {
+        if self.constraints.iter().any(|c| c.is_trivially_false()) {
+            return true;
+        }
+        !fm::is_feasible(&self.constraints, self.dim())
+    }
+
+    /// Checks membership of a concrete point under concrete parameter values.
+    pub fn contains(&self, point: &[i128], params: &[(&str, i128)]) -> bool {
+        assert_eq!(point.len(), self.dim(), "point arity mismatch");
+        let env: BTreeMap<String, i128> =
+            params.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        self.constraints.iter().all(|c| c.holds(point, &env))
+    }
+
+    /// Intersection with a compatible set (dimension names of `self` win).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spaces are incompatible.
+    pub fn intersect(&self, other: &BasicSet) -> BasicSet {
+        assert!(
+            self.space.compatible(other.space()),
+            "intersecting incompatible spaces {} and {}",
+            self.space,
+            other.space()
+        );
+        let mut constraints = self.constraints.clone();
+        constraints.extend(other.constraints.iter().cloned());
+        BasicSet {
+            space: self.space.clone(),
+            constraints,
+        }
+    }
+
+    /// Set difference `self ∖ other`, returned as a union of disjoint basic
+    /// sets (the standard "first i constraints hold, constraint i is
+    /// violated" decomposition).
+    pub fn subtract(&self, other: &BasicSet) -> Set {
+        assert!(
+            self.space.compatible(other.space()),
+            "subtracting incompatible spaces"
+        );
+        let n = self.dim();
+        let mut pieces = Vec::new();
+        let mut prefix: Vec<Constraint> = Vec::new();
+        for c in &other.constraints {
+            match c.kind {
+                ConstraintKind::Inequality => {
+                    // Violation: expr <= -1.
+                    let viol = Constraint::ge0(
+                        c.expr.scale(-1).add(&LinExpr::constant(n, -1)),
+                    );
+                    let mut cs = self.constraints.clone();
+                    cs.extend(prefix.iter().cloned());
+                    cs.push(viol);
+                    let piece = BasicSet {
+                        space: self.space.clone(),
+                        constraints: cs,
+                    };
+                    if !piece.is_empty() {
+                        pieces.push(piece);
+                    }
+                    prefix.push(c.clone());
+                }
+                ConstraintKind::Equality => {
+                    // Violation: expr >= 1 or expr <= -1.
+                    for sign in [1i128, -1] {
+                        let viol = Constraint::ge0(
+                            c.expr.scale(sign).add(&LinExpr::constant(n, -1)),
+                        );
+                        let mut cs = self.constraints.clone();
+                        cs.extend(prefix.iter().cloned());
+                        cs.push(viol);
+                        let piece = BasicSet {
+                            space: self.space.clone(),
+                            constraints: cs,
+                        };
+                        if !piece.is_empty() {
+                            pieces.push(piece);
+                        }
+                    }
+                    prefix.push(c.clone());
+                }
+            }
+        }
+        if other.constraints.is_empty() {
+            // Subtracting the universe leaves nothing.
+            return Set::empty(self.space.clone());
+        }
+        Set::from_basic_sets(self.space.clone(), pieces)
+    }
+
+    /// Returns true if `self ⊆ other` (conservative: may return `false` for
+    /// sets that are in fact included when integer reasoning would be needed).
+    pub fn is_subset(&self, other: &BasicSet) -> bool {
+        other
+            .constraints
+            .iter()
+            .all(|c| fm::implies(&self.constraints, self.dim(), c))
+    }
+
+    /// Projects out dimension `idx`, returning a set over the remaining
+    /// dimensions.
+    pub fn project_out(&self, idx: usize) -> BasicSet {
+        let constraints = fm::eliminate_var(&self.constraints, idx);
+        let mut dims: Vec<String> = self.space.dims().to_vec();
+        dims.remove(idx);
+        BasicSet {
+            space: Space::from_names(self.space.name().to_string(), dims),
+            constraints,
+        }
+    }
+
+    /// The effective (intrinsic) dimension of the set: the space dimension
+    /// minus the number of independent equality constraints binding the
+    /// variables.
+    pub fn intrinsic_dim(&self) -> usize {
+        use iolb_math::{Matrix, Rational};
+        let eqs: Vec<Vec<Rational>> = self
+            .constraints
+            .iter()
+            .filter(|c| c.kind == ConstraintKind::Equality)
+            .map(|c| {
+                c.expr
+                    .var_coeffs
+                    .iter()
+                    .map(|&x| Rational::from_int(x))
+                    .collect()
+            })
+            .collect();
+        if eqs.is_empty() {
+            return self.dim();
+        }
+        let rank = Matrix::from_rows(&eqs).rank();
+        self.dim().saturating_sub(rank)
+    }
+
+    /// Renames the underlying space tuple (constraints are untouched).
+    pub fn with_space(&self, space: Space) -> BasicSet {
+        assert_eq!(space.dim(), self.dim(), "space dimension mismatch");
+        BasicSet {
+            space,
+            constraints: self.constraints.clone(),
+        }
+    }
+
+    /// Converts to a (singleton) union set.
+    pub fn to_set(&self) -> Set {
+        Set::from_basic_sets(self.space.clone(), vec![self.clone()])
+    }
+
+    /// Enumerates all integer points for concrete parameter values.
+    ///
+    /// Intended for small instances (validation against the explicit CDAG);
+    /// `bound` caps each dimension's search range as a safety net.
+    pub fn enumerate(&self, params: &[(&str, i128)], bound: i128) -> Vec<Vec<i128>> {
+        let env: BTreeMap<String, i128> =
+            params.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let mut out = Vec::new();
+        let mut point = vec![0i128; self.dim()];
+        self.enumerate_rec(0, &mut point, &env, bound, &mut out);
+        out
+    }
+
+    fn enumerate_rec(
+        &self,
+        depth: usize,
+        point: &mut Vec<i128>,
+        env: &BTreeMap<String, i128>,
+        bound: i128,
+        out: &mut Vec<Vec<i128>>,
+    ) {
+        if depth == self.dim() {
+            if self.constraints.iter().all(|c| c.holds(point, env)) {
+                out.push(point.clone());
+            }
+            return;
+        }
+        for v in -bound..=bound {
+            point[depth] = v;
+            // Cheap partial pruning: check constraints that only involve
+            // dimensions <= depth.
+            let ok = self.constraints.iter().all(|c| {
+                if c.expr.var_coeffs[depth + 1..].iter().any(|&x| x != 0) {
+                    true
+                } else {
+                    c.holds(point, env)
+                }
+            });
+            if ok {
+                self.enumerate_rec(depth + 1, point, env, bound, out);
+            }
+        }
+        point[depth] = 0;
+    }
+}
+
+impl fmt::Display for BasicSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{ {} : ", self.space)?;
+        if self.constraints.is_empty() {
+            write!(f, "true")?;
+        }
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, " and ")?;
+            }
+            write!(f, "{}", c.display_with(self.space.dims()))?;
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> BasicSet {
+        // { S[i, j] : 0 <= i < N, 0 <= j <= i }
+        BasicSet::universe(Space::new("S", &["i", "j"]))
+            .ge0_var(0)
+            .lt_param(0, "N")
+            .ge0_var(1)
+            .le_var(1, 0)
+    }
+
+    #[test]
+    fn membership() {
+        let t = triangle();
+        assert!(t.contains(&[4, 4], &[("N", 5)]));
+        assert!(!t.contains(&[4, 5], &[("N", 5)]));
+        assert!(!t.contains(&[5, 0], &[("N", 5)]));
+    }
+
+    #[test]
+    fn emptiness() {
+        let t = triangle();
+        assert!(!t.is_empty());
+        let empty = t.clone().constrain(Constraint::ge0(
+            LinExpr::var(2, 1)
+                .sub(&LinExpr::var(2, 0))
+                .sub(&LinExpr::constant(2, 1)),
+        ));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn intersection() {
+        let t = triangle();
+        let diag = BasicSet::universe(Space::new("S", &["i", "j"])).constrain(Constraint::eq(
+            LinExpr::var(2, 0).sub(&LinExpr::var(2, 1)),
+        ));
+        let i = t.intersect(&diag);
+        assert!(i.contains(&[3, 3], &[("N", 5)]));
+        assert!(!i.contains(&[3, 2], &[("N", 5)]));
+    }
+
+    #[test]
+    fn subtraction_splits() {
+        // Remove the diagonal band j >= i from the triangle: leaves j < i.
+        let t = triangle();
+        let upper =
+            BasicSet::universe(Space::new("S", &["i", "j"])).constrain(Constraint::ge0(
+                LinExpr::var(2, 1).sub(&LinExpr::var(2, 0)),
+            ));
+        let diff = t.subtract(&upper);
+        assert!(!diff.is_empty());
+        assert!(diff.contains(&[4, 2], &[("N", 5)]));
+        assert!(!diff.contains(&[4, 4], &[("N", 5)]));
+    }
+
+    #[test]
+    fn subtracting_universe_gives_empty() {
+        let t = triangle();
+        let u = BasicSet::universe(Space::new("S", &["i", "j"]));
+        assert!(t.subtract(&u).is_empty());
+    }
+
+    #[test]
+    fn subset_checks() {
+        let t = triangle();
+        let smaller = triangle().ge_const(0, 1);
+        assert!(smaller.is_subset(&t));
+        assert!(!t.is_subset(&smaller));
+    }
+
+    #[test]
+    fn projection() {
+        let t = triangle();
+        let p = t.project_out(1);
+        assert_eq!(p.dim(), 1);
+        assert!(p.contains(&[0], &[("N", 5)]));
+        assert!(p.contains(&[4], &[("N", 5)]));
+        assert!(!p.contains(&[5], &[("N", 5)]));
+    }
+
+    #[test]
+    fn fixing_dimensions() {
+        let t = triangle().fix_dim_to_param(0, "Omega");
+        assert!(t.contains(&[3, 1], &[("N", 5), ("Omega", 3)]));
+        assert!(!t.contains(&[2, 1], &[("N", 5), ("Omega", 3)]));
+        let f = triangle().fix_dim(0, 2);
+        assert!(f.contains(&[2, 1], &[("N", 5)]));
+        assert!(!f.contains(&[3, 1], &[("N", 5)]));
+    }
+
+    #[test]
+    fn intrinsic_dimension() {
+        let t = triangle();
+        assert_eq!(t.intrinsic_dim(), 2);
+        let line = t.clone().fix_dim(0, 3);
+        assert_eq!(line.intrinsic_dim(), 1);
+        let point = t.fix_dim(0, 3).fix_dim(1, 1);
+        assert_eq!(point.intrinsic_dim(), 0);
+    }
+
+    #[test]
+    fn enumeration_matches_cardinality() {
+        let t = triangle();
+        let pts = t.enumerate(&[("N", 4)], 10);
+        assert_eq!(pts.len(), 10); // 1 + 2 + 3 + 4
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = triangle();
+        let s = t.to_string();
+        assert!(s.contains("S[i, j]"));
+        assert!(s.contains(">= 0"));
+    }
+}

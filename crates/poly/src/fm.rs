@@ -1,0 +1,387 @@
+//! Fourier–Motzkin elimination over integer affine constraint systems.
+//!
+//! This module provides the low-level machinery shared by sets and maps:
+//! variable elimination (projection), rational feasibility testing, and
+//! entailment checks. Parameters are handled by temporarily treating them as
+//! extra existential variables, which makes every check *conservative* in the
+//! direction IOLB needs:
+//!
+//! * emptiness is only reported when the system is infeasible for **every**
+//!   parameter value (so path-independence claims are never optimistic), and
+//! * entailment is only reported when it holds for **every** parameter value
+//!   admitted by the context.
+//!
+//! Rational (rather than integer-exact) projection can over-approximate an
+//! integer set. All IOLB uses of projection are either feasibility checks
+//! (safe direction, see above) or eliminations of variables with unit
+//! coefficients, for which Fourier–Motzkin is exact on the integers.
+
+use crate::affine::{Constraint, ConstraintKind, LinExpr};
+use iolb_math::gcd;
+use std::collections::BTreeSet;
+
+/// Normalises a constraint: divides by the gcd of its coefficients (flooring
+/// the constant for inequalities, which is exact for integer points).
+fn normalize(c: &Constraint) -> Constraint {
+    let mut g: i128 = 0;
+    for &x in &c.expr.var_coeffs {
+        g = gcd(g, x);
+    }
+    for &x in c.expr.param_coeffs.values() {
+        g = gcd(g, x);
+    }
+    if g <= 1 {
+        return c.clone();
+    }
+    let mut e = c.expr.clone();
+    for x in e.var_coeffs.iter_mut() {
+        *x /= g;
+    }
+    for x in e.param_coeffs.values_mut() {
+        *x /= g;
+    }
+    e.constant = match c.kind {
+        ConstraintKind::Inequality => e.constant.div_euclid(g),
+        ConstraintKind::Equality => {
+            if e.constant % g != 0 {
+                // Equality with non-divisible constant has no integer (or
+                // rational, after scaling) solutions; keep it unsimplified so
+                // feasibility detects the contradiction.
+                return c.clone();
+            }
+            e.constant / g
+        }
+    };
+    Constraint { expr: e, kind: c.kind }
+}
+
+/// Coefficient magnitude beyond which a constraint is dropped to prevent
+/// `i128` overflow in further eliminations. Dropping an inequality only
+/// *relaxes* the system, which is the conservative direction for every use in
+/// IOLB (emptiness, entailment and counting all fail safe).
+const COEFF_CAP: i128 = 1 << 60;
+
+/// Removes duplicate and trivially-true constraints, and drops constraints
+/// whose coefficients have grown past [`COEFF_CAP`].
+fn prune(constraints: Vec<Constraint>) -> Vec<Constraint> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut out = Vec::new();
+    for c in constraints {
+        let c = normalize(&c);
+        if c.is_trivially_true() {
+            continue;
+        }
+        let too_large = c.expr.var_coeffs.iter().any(|x| x.abs() > COEFF_CAP)
+            || c.expr.param_coeffs.values().any(|x| x.abs() > COEFF_CAP)
+            || c.expr.constant.abs() > COEFF_CAP;
+        if too_large && c.kind == ConstraintKind::Inequality {
+            continue;
+        }
+        let key = format!("{:?}:{:?}:{:?}:{:?}", c.kind, c.expr.var_coeffs, c.expr.param_coeffs, c.expr.constant);
+        if seen.insert(key) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Eliminates variable `idx` from a constraint system over `nvars` positional
+/// variables, returning a system over `nvars - 1` variables (the variable's
+/// column is removed).
+pub fn eliminate_var(constraints: &[Constraint], idx: usize) -> Vec<Constraint> {
+    // First try to use an equality to substitute the variable away.
+    let eq_pos = constraints.iter().position(|c| {
+        c.kind == ConstraintKind::Equality && c.expr.var_coeffs[idx] != 0
+    });
+    if let Some(ep) = eq_pos {
+        let eq = &constraints[ep];
+        let c_coeff = eq.expr.var_coeffs[idx];
+        let mut out = Vec::new();
+        for (i, c) in constraints.iter().enumerate() {
+            if i == ep {
+                continue;
+            }
+            let a = c.expr.var_coeffs[idx];
+            if a == 0 {
+                out.push(Constraint {
+                    expr: c.expr.drop_var(idx),
+                    kind: c.kind,
+                });
+                continue;
+            }
+            // Scale the constraint by |c_coeff| (positive, preserves
+            // inequality direction) and cancel with the equality.
+            let scaled = c.expr.scale(c_coeff.abs());
+            let k = -a * c_coeff.signum();
+            let combined = scaled.add(&eq.expr.scale(k));
+            debug_assert_eq!(combined.var_coeffs[idx], 0);
+            out.push(Constraint {
+                expr: combined.drop_var(idx),
+                kind: c.kind,
+            });
+        }
+        return prune(out);
+    }
+
+    // Pure Fourier–Motzkin on inequalities.
+    let mut lowers = Vec::new(); // coefficient > 0
+    let mut uppers = Vec::new(); // coefficient < 0
+    let mut rest = Vec::new();
+    for c in constraints {
+        let a = c.expr.var_coeffs[idx];
+        match c.kind {
+            ConstraintKind::Equality => {
+                debug_assert_eq!(a, 0, "equalities with the variable handled above");
+                rest.push(Constraint {
+                    expr: c.expr.drop_var(idx),
+                    kind: c.kind,
+                });
+            }
+            ConstraintKind::Inequality => {
+                if a > 0 {
+                    lowers.push(c.clone());
+                } else if a < 0 {
+                    uppers.push(c.clone());
+                } else {
+                    rest.push(Constraint {
+                        expr: c.expr.drop_var(idx),
+                        kind: c.kind,
+                    });
+                }
+            }
+        }
+    }
+    let mut out = rest;
+    for lo in &lowers {
+        let a = lo.expr.var_coeffs[idx];
+        for up in &uppers {
+            let b = up.expr.var_coeffs[idx]; // negative
+            let combined = lo.expr.scale(-b).add(&up.expr.scale(a));
+            debug_assert_eq!(combined.var_coeffs[idx], 0);
+            out.push(Constraint {
+                expr: combined.drop_var(idx),
+                kind: ConstraintKind::Inequality,
+            });
+        }
+    }
+    prune(out)
+}
+
+/// Eliminates several variables (indices into the current system, highest
+/// first to keep indices stable).
+pub fn eliminate_vars(constraints: &[Constraint], mut idxs: Vec<usize>) -> Vec<Constraint> {
+    idxs.sort_unstable();
+    idxs.dedup();
+    let mut cur = constraints.to_vec();
+    for &idx in idxs.iter().rev() {
+        cur = eliminate_var(&cur, idx);
+    }
+    cur
+}
+
+/// Collects every parameter name appearing in the constraints.
+pub fn collect_params(constraints: &[Constraint]) -> Vec<String> {
+    let mut out: BTreeSet<String> = BTreeSet::new();
+    for c in constraints {
+        for p in c.expr.param_coeffs.keys() {
+            out.insert(p.clone());
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Converts parameters into extra trailing positional variables so that
+/// feasibility can be decided purely over positional variables.
+fn parametrize(constraints: &[Constraint], nvars: usize) -> (Vec<Constraint>, usize) {
+    let params = collect_params(constraints);
+    let total = nvars + params.len();
+    let out = constraints
+        .iter()
+        .map(|c| {
+            let mut e = LinExpr::zero(total);
+            for (i, &v) in c.expr.var_coeffs.iter().enumerate() {
+                e.var_coeffs[i] = v;
+            }
+            for (j, p) in params.iter().enumerate() {
+                e.var_coeffs[nvars + j] = c.expr.param_coeff(p);
+            }
+            e.constant = c.expr.constant;
+            Constraint { expr: e, kind: c.kind }
+        })
+        .collect();
+    (out, total)
+}
+
+/// Rational feasibility of a constraint system over `nvars` positional
+/// variables, with parameters treated existentially.
+///
+/// Returns `false` only when the system has no rational solution for any
+/// parameter values (and hence certainly no integer solution).
+pub fn is_feasible(constraints: &[Constraint], nvars: usize) -> bool {
+    let (mut cur, total) = parametrize(constraints, nvars);
+    cur = prune(cur);
+    if cur.iter().any(|c| c.is_trivially_false()) {
+        return false;
+    }
+    for idx in (0..total).rev() {
+        cur = eliminate_var(&cur, idx);
+        if cur.iter().any(|c| c.is_trivially_false()) {
+            return false;
+        }
+    }
+    !cur.iter().any(|c| c.is_trivially_false())
+}
+
+/// Checks whether `constraints ⊨ target` (every rational point of the system
+/// satisfies the target constraint), parameters universally quantified.
+///
+/// Sound but not complete: a `true` answer is always correct.
+pub fn implies(constraints: &[Constraint], nvars: usize, target: &Constraint) -> bool {
+    match target.kind {
+        ConstraintKind::Inequality => {
+            // constraints ∧ (target < 0) infeasible, i.e. target <= -1.
+            let neg = Constraint::ge0(target.expr.scale(-1).add(&LinExpr::constant(nvars, -1)));
+            let mut sys = constraints.to_vec();
+            sys.push(neg);
+            !is_feasible(&sys, nvars)
+        }
+        ConstraintKind::Equality => {
+            let ge = Constraint::ge0(target.expr.clone());
+            let le = Constraint::ge0(target.expr.scale(-1));
+            implies(constraints, nvars, &ge) && implies(constraints, nvars, &le)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(n: usize, i: usize) -> LinExpr {
+        LinExpr::var(n, i)
+    }
+    fn cst(n: usize, c: i128) -> LinExpr {
+        LinExpr::constant(n, c)
+    }
+    fn par(n: usize, p: &str) -> LinExpr {
+        LinExpr::param(n, p)
+    }
+
+    #[test]
+    fn feasible_box() {
+        // 0 <= x < N (with N symbolic) is feasible.
+        let cs = vec![
+            Constraint::ge0(var(1, 0)),
+            Constraint::ge0(par(1, "N").sub(&var(1, 0)).sub(&cst(1, 1))),
+        ];
+        assert!(is_feasible(&cs, 1));
+    }
+
+    #[test]
+    fn infeasible_contradiction() {
+        // x >= 5 and x <= 2.
+        let cs = vec![
+            Constraint::ge0(var(1, 0).sub(&cst(1, 5))),
+            Constraint::ge0(cst(1, 2).sub(&var(1, 0))),
+        ];
+        assert!(!is_feasible(&cs, 1));
+    }
+
+    #[test]
+    fn infeasible_with_params() {
+        // x >= N and x <= N - 1 is infeasible for every N.
+        let cs = vec![
+            Constraint::ge0(var(1, 0).sub(&par(1, "N"))),
+            Constraint::ge0(par(1, "N").sub(&cst(1, 1)).sub(&var(1, 0))),
+        ];
+        assert!(!is_feasible(&cs, 1));
+    }
+
+    #[test]
+    fn elimination_projects_rectangle() {
+        // {(x, y) : 0 <= x <= 3, x <= y <= x + 2}; eliminating y gives 0 <= x <= 3.
+        let cs = vec![
+            Constraint::ge0(var(2, 0)),
+            Constraint::ge0(cst(2, 3).sub(&var(2, 0))),
+            Constraint::ge0(var(2, 1).sub(&var(2, 0))),
+            Constraint::ge0(var(2, 0).add(&cst(2, 2)).sub(&var(2, 1))),
+        ];
+        let projected = eliminate_var(&cs, 1);
+        assert!(is_feasible(&projected, 1));
+        // x = 5 violates the projection.
+        let mut with_point = projected.clone();
+        with_point.push(Constraint::eq(var(1, 0).sub(&cst(1, 5))));
+        assert!(!is_feasible(&with_point, 1));
+        // x = 2 satisfies it.
+        let mut ok = projected;
+        ok.push(Constraint::eq(var(1, 0).sub(&cst(1, 2))));
+        assert!(is_feasible(&ok, 1));
+    }
+
+    #[test]
+    fn elimination_uses_equalities() {
+        // {(x, y) : y = x + 1, 0 <= y <= 4} projected on x gives -1 <= x <= 3.
+        let cs = vec![
+            Constraint::eq(var(2, 1).sub(&var(2, 0)).sub(&cst(2, 1))),
+            Constraint::ge0(var(2, 1)),
+            Constraint::ge0(cst(2, 4).sub(&var(2, 1))),
+        ];
+        let projected = eliminate_var(&cs, 1);
+        let mut lo = projected.clone();
+        lo.push(Constraint::eq(var(1, 0).add(&cst(1, 1))));
+        assert!(is_feasible(&lo, 1)); // x = -1 allowed
+        let mut hi = projected.clone();
+        hi.push(Constraint::eq(var(1, 0).sub(&cst(1, 4))));
+        assert!(!is_feasible(&hi, 1)); // x = 4 excluded
+    }
+
+    #[test]
+    fn implication_with_context() {
+        // In {0 <= i < N, N >= 10}, the constraint i <= N + 5 is implied.
+        let cs = vec![
+            Constraint::ge0(var(1, 0)),
+            Constraint::ge0(par(1, "N").sub(&var(1, 0)).sub(&cst(1, 1))),
+            Constraint::ge0(par(1, "N").sub(&cst(1, 10))),
+        ];
+        let target = Constraint::ge0(par(1, "N").add(&cst(1, 5)).sub(&var(1, 0)));
+        assert!(implies(&cs, 1, &target));
+        // But i >= 1 is not implied (i = 0 is allowed).
+        let not_implied = Constraint::ge0(var(1, 0).sub(&cst(1, 1)));
+        assert!(!implies(&cs, 1, &not_implied));
+    }
+
+    #[test]
+    fn implication_of_equality() {
+        // {x = 3} implies x = 3 and not x = 4.
+        let cs = vec![Constraint::eq(var(1, 0).sub(&cst(1, 3)))];
+        assert!(implies(&cs, 1, &Constraint::eq(var(1, 0).sub(&cst(1, 3)))));
+        assert!(!implies(&cs, 1, &Constraint::eq(var(1, 0).sub(&cst(1, 4)))));
+    }
+
+    #[test]
+    fn normalization_divides_gcd() {
+        // 4x - 6 >= 0 normalises (and tightens over the integers) to x - 2 >= 0.
+        let c = Constraint::ge0(var(1, 0).scale(4).sub(&cst(1, 6)));
+        let n = normalize(&c);
+        assert_eq!(n.expr.var_coeffs, vec![1]);
+        assert_eq!(n.expr.constant, -2);
+    }
+
+    #[test]
+    fn eliminate_vars_multi() {
+        // {(x, y, z) : x = y, y = z, 0 <= z <= 2} projected to x.
+        let cs = vec![
+            Constraint::eq(var(3, 0).sub(&var(3, 1))),
+            Constraint::eq(var(3, 1).sub(&var(3, 2))),
+            Constraint::ge0(var(3, 2)),
+            Constraint::ge0(cst(3, 2).sub(&var(3, 2))),
+        ];
+        let projected = eliminate_vars(&cs, vec![1, 2]);
+        let mut ok = projected.clone();
+        ok.push(Constraint::eq(var(1, 0).sub(&cst(1, 2))));
+        assert!(is_feasible(&ok, 1));
+        let mut bad = projected;
+        bad.push(Constraint::eq(var(1, 0).sub(&cst(1, 3))));
+        assert!(!is_feasible(&bad, 1));
+    }
+}

@@ -1,0 +1,135 @@
+//! Named tuple spaces.
+//!
+//! Every set or relation in the polyhedral layer lives in a *space*: a tuple
+//! name (the statement or array it describes, e.g. `S3`) together with named
+//! dimensions (the surrounding loop indices, e.g. `k, i, j`). Spaces follow
+//! the ISL convention used throughout the paper: `S3[k, i, j]`.
+
+use std::fmt;
+
+/// A named tuple space `Name[d0, d1, …]`.
+///
+/// # Examples
+///
+/// ```
+/// use iolb_poly::Space;
+/// let s = Space::new("S3", &["k", "i", "j"]);
+/// assert_eq!(s.dim(), 3);
+/// assert_eq!(s.to_string(), "S3[k, i, j]");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Space {
+    name: String,
+    dims: Vec<String>,
+}
+
+impl Space {
+    /// Creates a space with the given tuple name and dimension names.
+    pub fn new(name: &str, dims: &[&str]) -> Self {
+        Space {
+            name: name.to_string(),
+            dims: dims.iter().map(|d| d.to_string()).collect(),
+        }
+    }
+
+    /// Creates a space from owned dimension names.
+    pub fn from_names(name: String, dims: Vec<String>) -> Self {
+        Space { name, dims }
+    }
+
+    /// A zero-dimensional space (used for scalars).
+    pub fn scalar(name: &str) -> Self {
+        Space {
+            name: name.to_string(),
+            dims: Vec::new(),
+        }
+    }
+
+    /// The tuple name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dimension names.
+    pub fn dims(&self) -> &[String] {
+        &self.dims
+    }
+
+    /// The number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The index of a dimension name, if present.
+    pub fn dim_index(&self, name: &str) -> Option<usize> {
+        self.dims.iter().position(|d| d == name)
+    }
+
+    /// Returns a copy with fresh dimension names (used to avoid capture when
+    /// combining relations that share index names).
+    pub fn renamed(&self, suffix: &str) -> Space {
+        Space {
+            name: self.name.clone(),
+            dims: self.dims.iter().map(|d| format!("{d}{suffix}")).collect(),
+        }
+    }
+
+    /// Returns true if two spaces refer to the same tuple (same name and
+    /// arity); dimension names are not significant for compatibility.
+    pub fn compatible(&self, other: &Space) -> bool {
+        self.name == other.name && self.dims.len() == other.dims.len()
+    }
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.name)?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", d)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let s = Space::new("S", &["i", "j"]);
+        assert_eq!(s.name(), "S");
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.dim_index("j"), Some(1));
+        assert_eq!(s.dim_index("k"), None);
+    }
+
+    #[test]
+    fn scalar_space() {
+        let s = Space::scalar("x");
+        assert_eq!(s.dim(), 0);
+        assert_eq!(s.to_string(), "x[]");
+    }
+
+    #[test]
+    fn compatibility_ignores_dim_names() {
+        let a = Space::new("S", &["i", "j"]);
+        let b = Space::new("S", &["x", "y"]);
+        let c = Space::new("T", &["i", "j"]);
+        let d = Space::new("S", &["i"]);
+        assert!(a.compatible(&b));
+        assert!(!a.compatible(&c));
+        assert!(!a.compatible(&d));
+    }
+
+    #[test]
+    fn renaming() {
+        let a = Space::new("S", &["i", "j"]);
+        let r = a.renamed("'");
+        assert_eq!(r.dims(), &["i'".to_string(), "j'".to_string()]);
+        assert!(a.compatible(&r));
+    }
+}

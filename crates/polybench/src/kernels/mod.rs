@@ -1,0 +1,91 @@
+//! The 30 kernels of PolyBench/C 4.2, expressed as data-flow graphs with the
+//! Table-1 metadata of the paper.
+
+pub mod blas;
+pub mod misc;
+pub mod solvers;
+pub mod stencils;
+
+use crate::meta::Kernel;
+
+/// Returns every kernel of the suite, in the order of Table 1.
+pub fn all_kernels() -> Vec<Kernel> {
+    vec![
+        // Division 1: tileable, non-trivial bound.
+        blas::two_mm(),
+        blas::three_mm(),
+        solvers::cholesky(),
+        misc::correlation(),
+        misc::covariance(),
+        blas::doitgen(),
+        stencils::fdtd_2d(),
+        misc::floyd_warshall(),
+        blas::gemm(),
+        stencils::heat_3d(),
+        stencils::jacobi_1d(),
+        stencils::jacobi_2d(),
+        solvers::lu(),
+        solvers::ludcmp(),
+        stencils::seidel_2d(),
+        blas::symm(),
+        blas::syr2k(),
+        blas::syrk(),
+        blas::trmm(),
+        // Division 2: streaming (constant ops/input ratio).
+        blas::atax(),
+        blas::bicg(),
+        misc::deriche(),
+        blas::gemver(),
+        blas::gesummv(),
+        blas::mvt(),
+        blas::trisolv(),
+        // Division 3: provably not tileable (wavefront-bounded).
+        stencils::adi(),
+        solvers::durbin(),
+        // Division 4: known open gap.
+        solvers::gramschmidt(),
+        misc::nussinov(),
+    ]
+}
+
+/// Looks a kernel up by its PolyBench name.
+pub fn kernel_by_name(name: &str) -> Option<Kernel> {
+    all_kernels().into_iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn the_suite_has_thirty_kernels() {
+        assert_eq!(all_kernels().len(), 30);
+    }
+
+    #[test]
+    fn kernel_names_are_unique() {
+        let names: BTreeSet<&str> = all_kernels().iter().map(|k| k.name).collect();
+        assert_eq!(names.len(), 30);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(kernel_by_name("gemm").is_some());
+        assert!(kernel_by_name("floyd-warshall").is_some());
+        assert!(kernel_by_name("spmv").is_none());
+    }
+
+    #[test]
+    fn every_kernel_has_large_sizes_for_all_params() {
+        for k in all_kernels() {
+            for p in k.params {
+                assert!(
+                    k.large.iter().any(|(name, _)| name == p),
+                    "{}: parameter {p} missing from LARGE sizes",
+                    k.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Symbolic expressions: generalised polynomials combined with `max`.
+//!
+//! The lower bounds produced by IOLB have the shape
+//! `Q_low = input_size + max(0, combined_partition_and_wavefront_terms)`,
+//! optionally with several `max` arms coming from different parameter
+//! instances (Sec. 7.2). [`Expr`] captures exactly that: a polynomial leaf or
+//! the maximum of a list of sub-expressions. Addition and multiplication by
+//! non-negative quantities distribute over `max`, which is how the driver
+//! assembles compound bounds without losing the lower-bound property.
+
+use crate::poly::Poly;
+use iolb_math::Rational;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symbolic expression: either a generalised polynomial or a maximum of
+/// sub-expressions.
+///
+/// # Examples
+///
+/// ```
+/// use iolb_symbol::Expr;
+/// let n = Expr::param("N");
+/// let q = Expr::max(vec![Expr::int(0), n.clone() * n.clone() - Expr::param("S")]);
+/// assert_eq!(q.to_string(), "max(0, N^2 - S)");
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// A polynomial leaf.
+    Poly(Poly),
+    /// The maximum of the argument expressions.
+    Max(Vec<Expr>),
+}
+
+impl Expr {
+    /// The zero expression.
+    pub fn zero() -> Expr {
+        Expr::Poly(Poly::zero())
+    }
+
+    /// An integer constant.
+    pub fn int(n: i128) -> Expr {
+        Expr::Poly(Poly::int(n))
+    }
+
+    /// A rational constant.
+    pub fn constant(c: Rational) -> Expr {
+        Expr::Poly(Poly::constant(c))
+    }
+
+    /// A named parameter.
+    pub fn param(name: &str) -> Expr {
+        Expr::Poly(Poly::param(name))
+    }
+
+    /// Wraps a polynomial.
+    pub fn from_poly(p: Poly) -> Expr {
+        Expr::Poly(p)
+    }
+
+    /// Builds `max(args…)`, flattening nested maxima and dropping duplicates.
+    pub fn max(args: Vec<Expr>) -> Expr {
+        let mut flat = Vec::new();
+        for a in args {
+            match a {
+                Expr::Max(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        flat.dedup();
+        match flat.len() {
+            0 => Expr::zero(),
+            1 => flat.into_iter().next().unwrap(),
+            _ => Expr::Max(flat),
+        }
+    }
+
+    /// `max(0, self)` — the standard guard the driver applies before adding
+    /// a derived bound to the compulsory-miss term.
+    pub fn max_with_zero(self) -> Expr {
+        Expr::max(vec![Expr::zero(), self])
+    }
+
+    /// Returns the polynomial if this is a polynomial leaf.
+    pub fn as_poly(&self) -> Option<&Poly> {
+        match self {
+            Expr::Poly(p) => Some(p),
+            Expr::Max(_) => None,
+        }
+    }
+
+    /// Returns the constant value if the expression is a constant polynomial.
+    pub fn as_constant(&self) -> Option<Rational> {
+        self.as_poly().and_then(|p| p.as_constant())
+    }
+
+    /// Returns true if the expression is identically zero.
+    pub fn is_zero(&self) -> bool {
+        matches!(self.as_constant(), Some(c) if c.is_zero())
+    }
+
+    /// Raises to a rational power (delegates to [`Poly::pow_rational`]; not
+    /// defined on `max` nodes).
+    pub fn pow_rational(&self, exp: Rational) -> Option<Expr> {
+        self.as_poly()?.pow_rational(exp).map(Expr::Poly)
+    }
+
+    /// Multiplies by a scalar. Negative scalars are rejected on `max` nodes
+    /// (where the identity `c·max(a,b) = max(c·a, c·b)` would not hold).
+    pub fn scale(&self, c: Rational) -> Expr {
+        match self {
+            Expr::Poly(p) => Expr::Poly(p.scale(c)),
+            Expr::Max(args) => {
+                assert!(
+                    !c.is_negative(),
+                    "cannot scale a max-expression by a negative constant"
+                );
+                Expr::max(args.iter().map(|a| a.scale(c)).collect())
+            }
+        }
+    }
+
+    /// Substitutes a parameter by a polynomial in every leaf.
+    pub fn substitute(&self, param: &str, replacement: &Poly) -> Expr {
+        match self {
+            Expr::Poly(p) => Expr::Poly(p.substitute(param, replacement)),
+            Expr::Max(args) => {
+                Expr::max(args.iter().map(|a| a.substitute(param, replacement)).collect())
+            }
+        }
+    }
+
+    /// Evaluates at an `f64` parameter assignment.
+    pub fn eval_f64(&self, env: &BTreeMap<String, f64>) -> Option<f64> {
+        match self {
+            Expr::Poly(p) => p.eval_f64(env),
+            Expr::Max(args) => {
+                let mut best = f64::NEG_INFINITY;
+                for a in args {
+                    best = best.max(a.eval_f64(env)?);
+                }
+                Some(best)
+            }
+        }
+    }
+
+    /// Evaluates at an integer parameter assignment using `f64` internally
+    /// (fractional exponents such as `√S` make exact evaluation impossible in
+    /// general).
+    pub fn eval_params(&self, pairs: &[(&str, i128)]) -> Option<f64> {
+        let env: BTreeMap<String, f64> = pairs.iter().map(|(k, v)| (k.to_string(), *v as f64)).collect();
+        self.eval_f64(&env)
+    }
+
+    /// All parameter names appearing in the expression.
+    pub fn params(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_params(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_params(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Poly(p) => out.extend(p.params()),
+            Expr::Max(args) => {
+                for a in args {
+                    a.collect_params(out);
+                }
+            }
+        }
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        match (self, rhs) {
+            (Expr::Poly(a), Expr::Poly(b)) => Expr::Poly(a + b),
+            // Addition is monotone, so it distributes over max exactly.
+            (Expr::Max(args), other) | (other, Expr::Max(args)) => {
+                Expr::max(args.into_iter().map(|a| a + other.clone()).collect())
+            }
+        }
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        match rhs {
+            Expr::Poly(p) => self + Expr::Poly(p.neg()),
+            Expr::Max(_) => panic!("cannot subtract a max-expression (not a lower bound preserving operation)"),
+        }
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        match (self, rhs) {
+            (Expr::Poly(a), Expr::Poly(b)) => Expr::Poly(a * b),
+            (Expr::Max(args), Expr::Poly(p)) | (Expr::Poly(p), Expr::Max(args)) => {
+                // Distributing a product over max is only sound when the
+                // polynomial factor is non-negative; IOLB only multiplies by
+                // cardinalities and capacities, which are non-negative by
+                // construction. We guard the constant case.
+                if let Some(c) = p.as_constant() {
+                    assert!(
+                        !c.is_negative(),
+                        "cannot multiply a max-expression by a negative constant"
+                    );
+                }
+                Expr::max(args.into_iter().map(|a| a * Expr::Poly(p.clone())).collect())
+            }
+            (Expr::Max(_), Expr::Max(_)) => {
+                panic!("product of two max-expressions is not supported")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Poly(p) => write!(f, "{}", p),
+            Expr::Max(args) => {
+                write!(f, "max(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", a)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<Poly> for Expr {
+    fn from(p: Poly) -> Expr {
+        Expr::Poly(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolb_math::rat;
+
+    #[test]
+    fn max_flattening_and_dedup() {
+        let a = Expr::param("N");
+        let b = Expr::param("M");
+        let m = Expr::max(vec![a.clone(), Expr::max(vec![a.clone(), b.clone()])]);
+        assert_eq!(m, Expr::Max(vec![a.clone(), b]));
+        assert_eq!(Expr::max(vec![a.clone()]), a);
+        assert_eq!(Expr::max(vec![]), Expr::zero());
+    }
+
+    #[test]
+    fn addition_distributes_over_max() {
+        let n = Expr::param("N");
+        let s = Expr::param("S");
+        let q = Expr::max(vec![Expr::int(0), n.clone() - s.clone()]) + n.clone();
+        assert_eq!(q.to_string(), "max(N, 2*N - S)");
+    }
+
+    #[test]
+    fn multiplication_by_nonnegative_distributes() {
+        let n = Expr::param("N");
+        let m = Expr::max(vec![Expr::int(0), n.clone()]);
+        let q = m * Expr::int(3);
+        assert_eq!(q.to_string(), "max(0, 3*N)");
+    }
+
+    #[test]
+    #[should_panic]
+    fn multiplication_by_negative_constant_panics() {
+        let m = Expr::max(vec![Expr::int(0), Expr::param("N")]);
+        let _ = m * Expr::int(-1);
+    }
+
+    #[test]
+    fn evaluation_of_max() {
+        let n = Expr::param("N");
+        let s = Expr::param("S");
+        let q = Expr::max(vec![Expr::int(0), n.clone() * n.clone() - s]);
+        assert_eq!(q.eval_params(&[("N", 2), ("S", 100)]), Some(0.0));
+        assert_eq!(q.eval_params(&[("N", 20), ("S", 100)]), Some(300.0));
+    }
+
+    #[test]
+    fn substitution_in_max() {
+        let t = Expr::param("T");
+        let q = Expr::max(vec![Expr::int(0), t.clone() - Expr::int(1)]);
+        let sub = q.substitute("T", &(Poly::param("S") * Poly::int(2)));
+        assert_eq!(sub.to_string(), "max(0, 2*S - 1)");
+    }
+
+    #[test]
+    fn params_collection() {
+        let q = Expr::max(vec![Expr::param("N") * Expr::param("M"), Expr::param("S")]);
+        assert_eq!(q.params(), vec!["M", "N", "S"]);
+    }
+
+    #[test]
+    fn pow_rational_on_leaf() {
+        let s = Expr::param("S");
+        assert_eq!(s.pow_rational(rat(1, 2)).unwrap().to_string(), "S^(1/2)");
+        let m = Expr::max(vec![Expr::param("S"), Expr::param("N")]);
+        assert!(m.pow_rational(rat(1, 2)).is_none());
+    }
+
+    #[test]
+    fn max_with_zero_guard() {
+        let e = (Expr::param("N") - Expr::param("S")).max_with_zero();
+        assert!(e.eval_params(&[("N", 1), ("S", 5)]).unwrap() >= 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # iolb-symbol
+//!
+//! Symbolic-expression substrate for the IOLB reproduction (the role GiNaC
+//! plays in the original tool). It provides:
+//!
+//! * [`Poly`] — sums of monomials over named program parameters whose
+//!   exponents may be rational, so that `√S` and `S^{3/2}` terms produced by
+//!   the Brascamp–Lieb machinery are exact first-class values;
+//! * [`Expr`] — polynomials combined with `max`, the shape of every bound
+//!   IOLB emits (`input_size + max(0, …)`);
+//! * [`summation`] — Faulhaber closed forms used both for symbolic
+//!   cardinality of Z-polyhedra and for summing per-slice bounds in the
+//!   loop-parametrization step (Sec. 4.3);
+//! * [`asymptotic`] — the dominant-term simplification used to report `Q∞`
+//!   and `OI` columns (Table 1 / Appendix C).
+//!
+//! ## Example
+//!
+//! ```
+//! use iolb_symbol::{Expr, Poly, asymptotic};
+//! use iolb_math::rat;
+//!
+//! // A gemm-like bound: 2 N^3 / sqrt(S) - 4 N^2, guarded by max(0, ·),
+//! // plus the compulsory misses 3 N^2.
+//! let n = Poly::param("N");
+//! let s = Poly::param("S");
+//! let partition = Poly::int(2) * n.clone() * n.clone() * n.clone()
+//!     * s.pow_rational(rat(-1, 2)).unwrap()
+//!     - Poly::int(4) * n.clone() * n.clone();
+//! let q = Expr::from_poly(Poly::int(3) * n.clone() * n.clone())
+//!     + Expr::from_poly(partition).max_with_zero();
+//! let q_inf = asymptotic::simplify(&q, "S");
+//! assert_eq!(q_inf.to_string(), "2*N^3*S^(-1/2)");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asymptotic;
+pub mod expr;
+pub mod poly;
+pub mod summation;
+
+pub use expr::Expr;
+pub use poly::{Monomial, Poly};
+pub use summation::{power_sum, sum_over};

@@ -1,0 +1,562 @@
+//! Symbolic "generalised polynomials": sums of monomials whose exponents may
+//! be rational (so that `√S` or `S^{3/2}` terms arising from the
+//! Brascamp–Lieb bound are first-class values).
+
+use iolb_math::Rational;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single monomial `coeff · Π_p p^{e_p}` over named parameters, where the
+/// exponents `e_p` are rational.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Monomial {
+    /// Scalar coefficient.
+    pub coeff: Rational,
+    /// Map from parameter name to (non-zero) exponent.
+    pub powers: BTreeMap<String, Rational>,
+}
+
+impl Monomial {
+    /// The constant monomial with the given coefficient.
+    pub fn constant(coeff: Rational) -> Self {
+        Monomial {
+            coeff,
+            powers: BTreeMap::new(),
+        }
+    }
+
+    /// The monomial `1 · p`.
+    pub fn param(name: &str) -> Self {
+        let mut powers = BTreeMap::new();
+        powers.insert(name.to_string(), Rational::ONE);
+        Monomial {
+            coeff: Rational::ONE,
+            powers,
+        }
+    }
+
+    /// Removes zero exponents (canonicalisation helper).
+    fn normalize(&mut self) {
+        self.powers.retain(|_, e| !e.is_zero());
+        if self.coeff.is_zero() {
+            self.powers.clear();
+        }
+    }
+
+    /// Returns true if the monomial is a constant (no parameters).
+    pub fn is_constant(&self) -> bool {
+        self.powers.is_empty()
+    }
+
+    /// The exponent of `name` in this monomial (zero if absent).
+    pub fn exponent(&self, name: &str) -> Rational {
+        self.powers.get(name).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut powers = self.powers.clone();
+        for (p, e) in &other.powers {
+            *powers.entry(p.clone()).or_insert(Rational::ZERO) += *e;
+        }
+        let mut m = Monomial {
+            coeff: self.coeff * other.coeff,
+            powers,
+        };
+        m.normalize();
+        m
+    }
+
+    /// Raises the monomial to a rational power. Requires a positive
+    /// coefficient unless the exponent is an integer.
+    pub fn pow(&self, exp: Rational) -> Option<Monomial> {
+        let coeff = if exp.is_integer() {
+            let e = exp.numer();
+            if e >= 0 {
+                self.coeff.pow(e as i32)
+            } else {
+                if self.coeff.is_zero() {
+                    return None;
+                }
+                self.coeff.pow(e as i32)
+            }
+        } else {
+            // Fractional powers of the coefficient are only representable when
+            // the coefficient is an exact k-th power; otherwise keep the
+            // rational approximation-free route: require coeff == 1, or
+            // fall back to exact perfect-power extraction.
+            if self.coeff == Rational::ONE {
+                Rational::ONE
+            } else {
+                exact_rational_pow(self.coeff, exp)?
+            }
+        };
+        let mut powers = BTreeMap::new();
+        for (p, e) in &self.powers {
+            powers.insert(p.clone(), *e * exp);
+        }
+        let mut m = Monomial { coeff, powers };
+        m.normalize();
+        Some(m)
+    }
+
+    /// Same parameter/exponent signature (ignoring the coefficient)?
+    pub fn same_powers(&self, other: &Monomial) -> bool {
+        self.powers == other.powers
+    }
+
+    /// Evaluates at a parameter assignment (f64).
+    pub fn eval_f64(&self, env: &BTreeMap<String, f64>) -> Option<f64> {
+        let mut acc = self.coeff.to_f64();
+        for (p, e) in &self.powers {
+            let v = *env.get(p)?;
+            acc *= v.powf(e.to_f64());
+        }
+        Some(acc)
+    }
+}
+
+/// Attempts to compute `base^exp` exactly for rational `exp = n/d`, succeeding
+/// only when `base` is a perfect `d`-th power.
+fn exact_rational_pow(base: Rational, exp: Rational) -> Option<Rational> {
+    if base.is_negative() {
+        return None;
+    }
+    let d = exp.denom();
+    let root = |x: i128| -> Option<i128> {
+        if x == 0 {
+            return Some(0);
+        }
+        let approx = (x as f64).powf(1.0 / d as f64).round() as i128;
+        for cand in approx.saturating_sub(2)..=approx + 2 {
+            if cand >= 0 && cand.checked_pow(d as u32) == Some(x) {
+                return Some(cand);
+            }
+        }
+        None
+    };
+    let num_root = root(base.numer())?;
+    let den_root = root(base.denom())?;
+    Some(Rational::new(num_root, den_root).pow(exp.numer() as i32))
+}
+
+/// A sum of [`Monomial`]s, kept in a canonical merged form.
+///
+/// # Examples
+///
+/// ```
+/// use iolb_symbol::Poly;
+/// let n = Poly::param("N");
+/// let p = n.clone() * n.clone() + Poly::int(3) * n.clone();
+/// assert_eq!(p.to_string(), "N^2 + 3*N");
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Poly {
+    terms: Vec<Monomial>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { terms: Vec::new() }
+    }
+
+    /// The constant one.
+    pub fn one() -> Self {
+        Poly::int(1)
+    }
+
+    /// A constant integer polynomial.
+    pub fn int(n: i128) -> Self {
+        Poly::constant(Rational::from_int(n))
+    }
+
+    /// A constant rational polynomial.
+    pub fn constant(c: Rational) -> Self {
+        if c.is_zero() {
+            Poly::zero()
+        } else {
+            Poly {
+                terms: vec![Monomial::constant(c)],
+            }
+        }
+    }
+
+    /// The polynomial consisting of the single parameter `name`.
+    pub fn param(name: &str) -> Self {
+        Poly {
+            terms: vec![Monomial::param(name)],
+        }
+    }
+
+    /// Builds a polynomial from raw monomials (canonicalising).
+    pub fn from_monomials(terms: Vec<Monomial>) -> Self {
+        let mut p = Poly { terms };
+        p.normalize();
+        p
+    }
+
+    /// The monomials of the polynomial.
+    pub fn terms(&self) -> &[Monomial] {
+        &self.terms
+    }
+
+    /// Returns true if the polynomial is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns the constant value if the polynomial is constant.
+    pub fn as_constant(&self) -> Option<Rational> {
+        if self.terms.is_empty() {
+            return Some(Rational::ZERO);
+        }
+        if self.terms.len() == 1 && self.terms[0].is_constant() {
+            return Some(self.terms[0].coeff);
+        }
+        None
+    }
+
+    /// Returns the single monomial if the polynomial has exactly one term.
+    pub fn as_monomial(&self) -> Option<&Monomial> {
+        if self.terms.len() == 1 {
+            Some(&self.terms[0])
+        } else {
+            None
+        }
+    }
+
+    fn normalize(&mut self) {
+        let mut merged: Vec<Monomial> = Vec::new();
+        for t in &self.terms {
+            let mut t = t.clone();
+            t.normalize();
+            if t.coeff.is_zero() {
+                continue;
+            }
+            if let Some(existing) = merged.iter_mut().find(|m| m.same_powers(&t)) {
+                existing.coeff += t.coeff;
+            } else {
+                merged.push(t);
+            }
+        }
+        merged.retain(|m| !m.coeff.is_zero());
+        // Sort for a canonical, human-stable ordering: by descending total
+        // degree, then by the power map debug representation.
+        merged.sort_by(|a, b| {
+            let da: Rational = a.powers.values().copied().sum();
+            let db: Rational = b.powers.values().copied().sum();
+            db.cmp(&da)
+                .then_with(|| format!("{:?}", a.powers).cmp(&format!("{:?}", b.powers)))
+        });
+        self.terms = merged;
+    }
+
+    /// Multiplies every term by a rational scalar.
+    pub fn scale(&self, c: Rational) -> Poly {
+        Poly::from_monomials(
+            self.terms
+                .iter()
+                .map(|m| Monomial {
+                    coeff: m.coeff * c,
+                    powers: m.powers.clone(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Raises the polynomial to a rational power. Only defined when the
+    /// polynomial is a single monomial (which is the only case IOLB needs:
+    /// `K = (S+T)` is always reduced to `c·S` before exponentiation) or when
+    /// the exponent is a small non-negative integer.
+    pub fn pow_rational(&self, exp: Rational) -> Option<Poly> {
+        if exp.is_integer() && !exp.is_negative() {
+            let mut acc = Poly::one();
+            for _ in 0..exp.numer() {
+                acc = acc.clone() * self.clone();
+            }
+            return Some(acc);
+        }
+        let m = self.as_monomial()?;
+        Some(Poly {
+            terms: vec![m.pow(exp)?],
+        })
+    }
+
+    /// Substitutes `param := replacement` (replacement exponentiated by the
+    /// integer power of the parameter in each term).
+    ///
+    /// Terms where `param` has a non-integer or negative exponent are only
+    /// substitutable when `replacement` is a single monomial.
+    pub fn substitute(&self, param: &str, replacement: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for t in &self.terms {
+            let e = t.exponent(param);
+            let mut rest = t.clone();
+            rest.powers.remove(param);
+            let rest_poly = Poly { terms: vec![rest] };
+            if e.is_zero() {
+                out = out + rest_poly;
+            } else if e.is_integer() && !e.is_negative() {
+                let mut repl_pow = Poly::one();
+                for _ in 0..e.numer() {
+                    repl_pow = repl_pow * replacement.clone();
+                }
+                out = out + rest_poly * repl_pow;
+            } else {
+                // Need a monomial replacement for fractional/negative powers.
+                let repl_mono = replacement
+                    .as_monomial()
+                    .unwrap_or_else(|| panic!("cannot substitute {param}^{e} by a sum"));
+                let powered = repl_mono
+                    .pow(e)
+                    .unwrap_or_else(|| panic!("cannot raise replacement to power {e}"));
+                out = out + rest_poly * Poly { terms: vec![powered] };
+            }
+        }
+        out
+    }
+
+    /// Evaluates the polynomial at an `f64` assignment; returns `None` if a
+    /// parameter is missing.
+    pub fn eval_f64(&self, env: &BTreeMap<String, f64>) -> Option<f64> {
+        let mut acc = 0.0;
+        for t in &self.terms {
+            acc += t.eval_f64(env)?;
+        }
+        Some(acc)
+    }
+
+    /// Evaluates exactly at an integer assignment, provided all exponents are
+    /// non-negative integers.
+    pub fn eval_exact(&self, env: &BTreeMap<String, i128>) -> Option<Rational> {
+        let mut acc = Rational::ZERO;
+        for t in &self.terms {
+            let mut v = t.coeff;
+            for (p, e) in &t.powers {
+                if !e.is_integer() || e.is_negative() {
+                    return None;
+                }
+                let base = Rational::from_int(*env.get(p)?);
+                v *= base.pow(e.numer() as i32);
+            }
+            acc += v;
+        }
+        Some(acc)
+    }
+
+    /// The set of parameter names appearing in the polynomial.
+    pub fn params(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for t in &self.terms {
+            for p in t.powers.keys() {
+                if !out.contains(p) {
+                    out.push(p.clone());
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// The degree of the polynomial in `param` (maximum exponent over terms),
+    /// or `None` for the zero polynomial.
+    pub fn degree_in(&self, param: &str) -> Option<Rational> {
+        self.terms.iter().map(|t| t.exponent(param)).max()
+    }
+}
+
+impl std::ops::Add for Poly {
+    type Output = Poly;
+    fn add(self, rhs: Poly) -> Poly {
+        let mut terms = self.terms;
+        terms.extend(rhs.terms);
+        Poly::from_monomials(terms)
+    }
+}
+
+impl std::ops::Sub for Poly {
+    type Output = Poly;
+    fn sub(self, rhs: Poly) -> Poly {
+        self + rhs.neg()
+    }
+}
+
+impl std::ops::Mul for Poly {
+    type Output = Poly;
+    fn mul(self, rhs: Poly) -> Poly {
+        let mut terms = Vec::new();
+        for a in &self.terms {
+            for b in &rhs.terms {
+                terms.push(a.mul(b));
+            }
+        }
+        Poly::from_monomials(terms)
+    }
+}
+
+impl Poly {
+    /// Negation.
+    pub fn neg(&self) -> Poly {
+        self.scale(-Rational::ONE)
+    }
+}
+
+fn fmt_exponent(f: &mut fmt::Formatter<'_>, e: Rational) -> fmt::Result {
+    if e == Rational::ONE {
+        Ok(())
+    } else if e.is_integer() {
+        write!(f, "^{}", e.numer())
+    } else {
+        write!(f, "^({})", e)
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, t) in self.terms.iter().enumerate() {
+            let coeff = t.coeff;
+            if i == 0 {
+                if coeff.is_negative() {
+                    write!(f, "-")?;
+                }
+            } else if coeff.is_negative() {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            let a = coeff.abs();
+            if t.is_constant() {
+                write!(f, "{}", a)?;
+            } else {
+                let mut first = true;
+                if a != Rational::ONE {
+                    write!(f, "{}", a)?;
+                    first = false;
+                }
+                for (p, e) in &t.powers {
+                    if !first {
+                        write!(f, "*")?;
+                    }
+                    write!(f, "{}", p)?;
+                    fmt_exponent(f, *e)?;
+                    first = false;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolb_math::rat;
+
+    fn env(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn construction_and_display() {
+        let n = Poly::param("N");
+        let p = n.clone() * n.clone() + Poly::int(3) * n.clone() - Poly::int(2);
+        assert_eq!(p.to_string(), "N^2 + 3*N - 2");
+    }
+
+    #[test]
+    fn canonical_merge() {
+        let n = Poly::param("N");
+        let p = n.clone() + n.clone() - Poly::int(2) * n.clone();
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn multiplication_distributes() {
+        let n = Poly::param("N");
+        let m = Poly::param("M");
+        let p = (n.clone() + m.clone()) * (n.clone() - m.clone());
+        assert_eq!(p, n.clone() * n - m.clone() * m);
+    }
+
+    #[test]
+    fn pow_rational_monomial() {
+        let s = Poly::param("S");
+        let p = s.pow_rational(rat(1, 2)).unwrap();
+        assert_eq!(p.to_string(), "S^(1/2)");
+        let q = (Poly::int(3) * Poly::param("S")).pow_rational(rat(3, 2));
+        // 3^{3/2} is not rational, so exponentiation must refuse.
+        assert!(q.is_none());
+        let r = (Poly::int(4) * Poly::param("S")).pow_rational(rat(1, 2)).unwrap();
+        assert_eq!(r.to_string(), "2*S^(1/2)");
+    }
+
+    #[test]
+    fn pow_integer_of_sum() {
+        let n = Poly::param("N");
+        let p = (n.clone() + Poly::int(1)).pow_rational(rat(2, 1)).unwrap();
+        assert_eq!(p, n.clone() * n.clone() + Poly::int(2) * n + Poly::int(1));
+    }
+
+    #[test]
+    fn substitution() {
+        let n = Poly::param("N");
+        let t = Poly::param("T");
+        // T^2 + T with T := N - 1 gives N^2 - N.
+        let p = t.clone() * t.clone() + t.clone();
+        let q = p.substitute("T", &(n.clone() - Poly::int(1)));
+        assert_eq!(q, n.clone() * n.clone() - n);
+    }
+
+    #[test]
+    fn substitution_fractional_power() {
+        // S^(-1/2) with S := 4*X^2 -> (1/2) * X^(-1).
+        let mut powers = BTreeMap::new();
+        powers.insert("S".to_string(), rat(-1, 2));
+        let p = Poly::from_monomials(vec![Monomial {
+            coeff: Rational::ONE,
+            powers,
+        }]);
+        let repl = Poly::int(4) * Poly::param("X") * Poly::param("X");
+        let q = p.substitute("S", &repl);
+        assert_eq!(q.to_string(), "1/2*X^-1");
+    }
+
+    #[test]
+    fn evaluation() {
+        let n = Poly::param("N");
+        let s = Poly::param("S");
+        let p = n.clone() * n.clone() * n.clone() * s.pow_rational(rat(-1, 2)).unwrap();
+        let v = p.eval_f64(&env(&[("N", 100.0), ("S", 256.0)])).unwrap();
+        assert!((v - 1_000_000.0 / 16.0).abs() < 1e-6);
+        assert!(p.eval_f64(&env(&[("N", 100.0)])).is_none());
+    }
+
+    #[test]
+    fn exact_evaluation() {
+        let n = Poly::param("N");
+        let p = n.clone() * n.clone() - Poly::int(1);
+        let mut e = BTreeMap::new();
+        e.insert("N".to_string(), 10i128);
+        assert_eq!(p.eval_exact(&e), Some(rat(99, 1)));
+    }
+
+    #[test]
+    fn params_and_degree() {
+        let p = Poly::param("N") * Poly::param("M") + Poly::param("N");
+        assert_eq!(p.params(), vec!["M".to_string(), "N".to_string()]);
+        assert_eq!(p.degree_in("N"), Some(Rational::ONE));
+        assert_eq!(p.degree_in("M"), Some(Rational::ONE));
+        assert_eq!(p.degree_in("S"), Some(Rational::ZERO));
+    }
+
+    #[test]
+    fn as_constant() {
+        assert_eq!(Poly::int(5).as_constant(), Some(rat(5, 1)));
+        assert_eq!(Poly::zero().as_constant(), Some(Rational::ZERO));
+        assert_eq!(Poly::param("N").as_constant(), None);
+    }
+}

@@ -1,0 +1,166 @@
+//! Closed-form summation of polynomials over an index parameter (Faulhaber's
+//! formulas).
+//!
+//! Two IOLB components need this: symbolic cardinality of parametric
+//! Z-polyhedra (iterated summation over the innermost loop index), and the
+//! loop-parametrization step of Sec. 4.3 which sums a per-iteration bound
+//! `Q_Ω` over all values of the slicing parameter `Ω` ("we use formulas for
+//! sum of polynomials").
+
+use crate::poly::{Monomial, Poly};
+use iolb_math::Rational;
+
+/// Binomial coefficient as a [`Rational`].
+fn binomial(n: i128, k: i128) -> Rational {
+    if k < 0 || k > n {
+        return Rational::ZERO;
+    }
+    let mut num = Rational::ONE;
+    for i in 0..k {
+        num *= Rational::new(n - i, i + 1);
+    }
+    num
+}
+
+/// Returns the polynomial `F_p(n) = Σ_{k=0}^{n} k^p` as a polynomial in the
+/// parameter `n_name`, computed with the recursive Faulhaber identity
+/// `(n+1)^{p+1} = Σ_{j=0}^{p} C(p+1, j) · F_j(n)`.
+///
+/// # Examples
+///
+/// ```
+/// use iolb_symbol::summation::power_sum;
+/// // Σ_{k=0}^{n} k = n(n+1)/2
+/// let f1 = power_sum(1, "n");
+/// assert_eq!(f1.to_string(), "1/2*n^2 + 1/2*n");
+/// ```
+pub fn power_sum(p: u32, n_name: &str) -> Poly {
+    let n = Poly::param(n_name);
+    if p == 0 {
+        return n + Poly::one();
+    }
+    // (n+1)^{p+1}
+    let np1 = (n.clone() + Poly::one())
+        .pow_rational(Rational::from_int((p + 1) as i128))
+        .expect("integer power");
+    let mut rhs = np1;
+    for j in 0..p {
+        let c = binomial((p + 1) as i128, j as i128);
+        rhs = rhs - power_sum(j, n_name).scale(c);
+    }
+    rhs.scale(Rational::new(1, (p + 1) as i128))
+}
+
+/// Symbolically computes `Σ_{k=lo}^{hi} poly(k)` where `poly` is a polynomial
+/// in the summation parameter `k_name` with **non-negative integer** exponents
+/// in `k_name` (exponents on other parameters are unrestricted).
+///
+/// The result is exact whenever `lo ≤ hi`; the caller is responsible for
+/// guarding empty ranges (for `lo > hi` Faulhaber's closed form extrapolates
+/// the polynomial rather than returning zero).
+///
+/// # Panics
+///
+/// Panics if some term has a negative or fractional exponent in `k_name`.
+pub fn sum_over(poly: &Poly, k_name: &str, lo: &Poly, hi: &Poly) -> Poly {
+    let mut out = Poly::zero();
+    for term in poly.terms() {
+        let e = term.exponent(k_name);
+        assert!(
+            e.is_integer() && !e.is_negative(),
+            "sum_over requires non-negative integer exponents in {k_name}, got {e}"
+        );
+        let p = e.numer() as u32;
+        // Split the monomial into (coefficient part without k) * k^p.
+        let mut rest = term.clone();
+        rest.powers.remove(k_name);
+        let rest_poly = Poly::from_monomials(vec![Monomial {
+            coeff: rest.coeff,
+            powers: rest.powers,
+        }]);
+        // Σ_{k=lo}^{hi} k^p = F_p(hi) - F_p(lo - 1).
+        let f = power_sum(p, "__sum_k");
+        let at_hi = f.substitute("__sum_k", hi);
+        let at_lo_minus_1 = f.substitute("__sum_k", &(lo.clone() - Poly::one()));
+        out = out + rest_poly * (at_hi - at_lo_minus_1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iolb_math::rat;
+    use std::collections::BTreeMap;
+
+    fn eval(p: &Poly, pairs: &[(&str, i128)]) -> Rational {
+        let env: BTreeMap<String, i128> = pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        p.eval_exact(&env).unwrap()
+    }
+
+    #[test]
+    fn power_sum_small_orders() {
+        assert_eq!(power_sum(0, "n").to_string(), "n + 1");
+        assert_eq!(power_sum(1, "n").to_string(), "1/2*n^2 + 1/2*n");
+        // Σ k^2 = n(n+1)(2n+1)/6
+        let f2 = power_sum(2, "n");
+        assert_eq!(eval(&f2, &[("n", 10)]), rat(385, 1));
+        // Σ k^3 = (n(n+1)/2)^2
+        let f3 = power_sum(3, "n");
+        assert_eq!(eval(&f3, &[("n", 10)]), rat(3025, 1));
+        let f4 = power_sum(4, "n");
+        assert_eq!(eval(&f4, &[("n", 5)]), rat(979, 1));
+    }
+
+    #[test]
+    fn sum_constant_over_range() {
+        // Σ_{k=lo}^{hi} 1 = hi - lo + 1.
+        let s = sum_over(&Poly::int(1), "k", &Poly::param("lo"), &Poly::param("hi"));
+        assert_eq!(
+            s,
+            Poly::param("hi") - Poly::param("lo") + Poly::int(1)
+        );
+    }
+
+    #[test]
+    fn sum_linear_with_parametric_bounds() {
+        // Σ_{k=1}^{N-1} k = N(N-1)/2.
+        let s = sum_over(&Poly::param("k"), "k", &Poly::int(1), &(Poly::param("N") - Poly::int(1)));
+        let expected = (Poly::param("N") * (Poly::param("N") - Poly::int(1))).scale(rat(1, 2));
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn sum_with_free_parameters() {
+        // Σ_{k=0}^{M-1} (N - k) = M*N - M(M-1)/2.
+        let body = Poly::param("N") - Poly::param("k");
+        let s = sum_over(&body, "k", &Poly::int(0), &(Poly::param("M") - Poly::int(1)));
+        assert_eq!(eval(&s, &[("N", 10), ("M", 4)]), rat(10 + 9 + 8 + 7, 1));
+    }
+
+    #[test]
+    fn sum_quadratic_matches_bruteforce() {
+        // Σ_{k=2}^{7} (k^2 + 3k + 1)
+        let k = Poly::param("k");
+        let body = k.clone() * k.clone() + Poly::int(3) * k.clone() + Poly::int(1);
+        let s = sum_over(&body, "k", &Poly::int(2), &Poly::int(7));
+        let brute: i128 = (2..=7).map(|x: i128| x * x + 3 * x + 1).sum();
+        assert_eq!(s.as_constant(), Some(Rational::from_int(brute)));
+    }
+
+    #[test]
+    fn nested_summation_counts_triangle() {
+        // |{(i, j) : 0 <= i < N, 0 <= j <= i}| = N(N+1)/2
+        // computed as Σ_{i=0}^{N-1} Σ_{j=0}^{i} 1.
+        let inner = sum_over(&Poly::int(1), "j", &Poly::int(0), &Poly::param("i"));
+        let outer = sum_over(&inner, "i", &Poly::int(0), &(Poly::param("N") - Poly::int(1)));
+        assert_eq!(eval(&outer, &[("N", 6)]), rat(21, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn fractional_exponent_rejected() {
+        let s = Poly::param("k").pow_rational(rat(1, 2)).unwrap();
+        let _ = sum_over(&s, "k", &Poly::int(0), &Poly::int(3));
+    }
+}

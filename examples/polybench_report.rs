@@ -1,0 +1,31 @@
+//! Analyse a selection of PolyBench kernels and print the reviewable report
+//! for each: the derived bound, its asymptotic form, the OI upper bound and
+//! the accepted sub-bounds with their derivation notes.
+//!
+//! Run with: `cargo run --example polybench_report [kernel ...]`
+
+use iolb::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selection: Vec<String> = if args.is_empty() {
+        vec!["gemm".into(), "cholesky".into(), "jacobi-1d".into(), "atax".into()]
+    } else {
+        args
+    };
+
+    for name in &selection {
+        let Some(kernel) = iolb::polybench::kernel_by_name(name) else {
+            eprintln!("unknown kernel: {name}");
+            continue;
+        };
+        let analysis = analyze(&kernel.dfg, &kernel.analysis_options());
+        let report = Report::new(kernel.name, analysis, Some(kernel.ops.clone()));
+        println!("{report}");
+        println!(
+            "  paper reports OI_up = {}, manual schedule achieves {}",
+            kernel.paper_oi_up_desc, kernel.oi_manual_desc
+        );
+        println!();
+    }
+}

@@ -1,0 +1,55 @@
+//! # iolb
+//!
+//! A pure-Rust reproduction of *Automated Derivation of Parametric Data
+//! Movement Lower Bounds for Affine Programs* (IOLB, PLDI 2020).
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`math`] — exact rationals, linear algebra, subgroup lattices, LP and
+//!   the Brascamp–Lieb exponent optimiser;
+//! * [`symbol`] — symbolic parametric expressions (`√S`, `max`, Faulhaber
+//!   summation, asymptotic simplification);
+//! * [`poly`] — parametric integer sets/relations with symbolic counting and
+//!   an ISL-like notation parser;
+//! * [`ir`] — a small polyhedral program IR lowered to data-flow graphs;
+//! * [`dfg`] — data-flow graphs, DFG-path generation and classification;
+//! * [`core`] — the IOLB analysis itself (K-partition and wavefront bounds,
+//!   CDAG decomposition, the Algorithm-6 driver, OI bounds and reports);
+//! * [`cdag`] — explicit CDAG instantiation and the red-white pebble game for
+//!   validating bounds on small instances;
+//! * [`cachesim`] — an LRU / Belady two-level memory simulator for measuring
+//!   achieved OI of reference schedules;
+//! * [`polybench`] — the 30 PolyBench/C 4.2 kernels with Table-1 metadata and
+//!   reference schedules.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use iolb::prelude::*;
+//!
+//! let gemm = iolb::polybench::kernel_by_name("gemm").unwrap();
+//! let analysis = analyze(&gemm.dfg, &gemm.analysis_options());
+//! assert_eq!(analysis.q_asymptotic().to_string(), "2*Ni*Nj*Nk*S^(-1/2)");
+//! let oi = OiSummary::from_analysis(&analysis, Some(gemm.ops.clone())).unwrap();
+//! assert_eq!(oi.oi_up.unwrap().to_string(), "S^(1/2)");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use iolb_cachesim as cachesim;
+pub use iolb_cdag as cdag;
+pub use iolb_core as core;
+pub use iolb_dfg as dfg;
+pub use iolb_ir as ir;
+pub use iolb_math as math;
+pub use iolb_poly as poly;
+pub use iolb_polybench as polybench;
+pub use iolb_symbol as symbol;
+
+/// Commonly used items, re-exported for examples and downstream users.
+pub mod prelude {
+    pub use iolb_core::{analyze, Analysis, AnalysisOptions, Instance, OiSummary, Regime, Report};
+    pub use iolb_dfg::{genpaths, Dfg, GenPathsOptions};
+    pub use iolb_poly::{parse_map, parse_set};
+    pub use iolb_symbol::{Expr, Poly};
+}
