@@ -1,23 +1,16 @@
 //! Benchmarks the Figure-6 measurement path: trace generation plus LRU cache
 //! simulation for representative tiled and streaming schedules.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iolb_bench::harness::bench;
 use iolb_cachesim::simulate_lru;
 
-fn figure6_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure6_simulation");
-    group.sample_size(10);
+fn main() {
+    println!("== figure6_simulation ==");
     for name in ["gemm", "jacobi-2d", "atax", "floyd-warshall"] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let t = iolb_polybench::trace(name, 64, 16).expect("trace available");
-                let stats = simulate_lru(&t.trace, 1024);
-                std::hint::black_box(stats.operational_intensity(t.ops))
-            })
+        bench(name, 10, || {
+            let t = iolb_polybench::trace(name, 64, 16).expect("trace available");
+            let stats = simulate_lru(&t.trace, 1024);
+            stats.operational_intensity(t.ops)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, figure6_simulation);
-criterion_main!(benches);

@@ -1,20 +1,12 @@
 //! Benchmarks regeneration of the Table-1 rows (per-kernel OI bound
 //! derivation), exercising the whole pipeline from DFG to OI summary.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use iolb_bench::evaluate_kernel;
+use iolb_bench::{evaluate_kernel, harness::bench};
 
-fn table1_rows(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_row");
-    group.sample_size(10);
+fn main() {
+    println!("== table1_row ==");
     for name in ["gemm", "syrk", "trisolv", "durbin"] {
         let kernel = iolb_polybench::kernel_by_name(name).expect("known kernel");
-        group.bench_function(name, |b| {
-            b.iter(|| std::hint::black_box(evaluate_kernel(&kernel).our_oi_up))
-        });
+        bench(name, 10, || evaluate_kernel(&kernel).our_oi_up);
     }
-    group.finish();
 }
-
-criterion_group!(benches, table1_rows);
-criterion_main!(benches);

@@ -2,33 +2,22 @@
 //! derived lower bound evaluated at a small instance must not exceed the I/O
 //! of a simulated schedule on the explicit CDAG.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use iolb_bench::harness::bench;
 use iolb_cdag::{simulate_topological, Cdag};
 use iolb_core::analyze;
 
-fn validation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("validation");
-    group.sample_size(10);
+fn main() {
+    println!("== validation ==");
     let kernel = iolb_polybench::kernel_by_name("gemm").expect("gemm");
     let params: Vec<(&str, i128)> = vec![("Ni", 6), ("Nj", 6), ("Nk", 6)];
-    group.bench_function("gemm_pebble_game", |b| {
-        b.iter(|| {
-            let cdag = Cdag::instantiate(&kernel.dfg, &params, 8);
-            std::hint::black_box(simulate_topological(&cdag, 16))
-        })
+    bench("gemm_pebble_game", 10, || {
+        let cdag = Cdag::instantiate(&kernel.dfg, &params, 8);
+        simulate_topological(&cdag, 16)
     });
-    group.bench_function("gemm_bound_evaluation", |b| {
-        let analysis = analyze(&kernel.dfg, &kernel.analysis_options());
-        b.iter(|| {
-            std::hint::black_box(
-                analysis
-                    .q_low
-                    .eval_params(&[("Ni", 6), ("Nj", 6), ("Nk", 6), ("S", 16)]),
-            )
-        })
+    let analysis = analyze(&kernel.dfg, &kernel.analysis_options());
+    bench("gemm_bound_evaluation", 10, || {
+        analysis
+            .q_low
+            .eval_params(&[("Ni", 6), ("Nj", 6), ("Nk", 6), ("S", 16)])
     });
-    group.finish();
 }
-
-criterion_group!(benches, validation);
-criterion_main!(benches);

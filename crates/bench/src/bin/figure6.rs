@@ -13,7 +13,11 @@ use iolb_core::Regime;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let (n, tile, cache_words) = if full { (256, 32, 4096) } else { (96, 16, 1024) };
+    let (n, tile, cache_words) = if full {
+        (256, 32, 4096)
+    } else {
+        (96, 16, 1024)
+    };
 
     println!(
         "Figure 6 — achieved OI (LRU, {cache_words}-word cache, scaled instances) vs OI_up vs machine balance ({MACHINE_BALANCE} flops/word)"
@@ -38,11 +42,13 @@ fn main() {
         println!(
             "{:<16} {:>12} {:>12} {:>16}",
             row.name,
-            achieved.map(|a| format!("{a:.2}")).unwrap_or_else(|| "-".into()),
-            row.our_oi_up.map(|o| format!("{o:.2}")).unwrap_or_else(|| "-".into()),
-            regime
-                .map(|r| r.to_string())
-                .unwrap_or_else(|| "-".into())
+            achieved
+                .map(|a| format!("{a:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            row.our_oi_up
+                .map(|o| format!("{o:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            regime.map(|r| r.to_string()).unwrap_or_else(|| "-".into())
         );
         let _ = Regime::Open;
     }

@@ -18,7 +18,11 @@ fn main() {
         let input = kernel.input_data.eval_f64(&env).unwrap_or(f64::NAN);
         let ops = kernel.ops.eval_f64(&env).unwrap_or(f64::NAN);
         let ours = row.our_oi_up.unwrap_or(f64::NAN);
-        let ratio = if row.oi_manual > 0.0 { ours / row.oi_manual } else { f64::NAN };
+        let ratio = if row.oi_manual > 0.0 {
+            ours / row.oi_manual
+        } else {
+            f64::NAN
+        };
         println!(
             "{:<16} {:>14.3e} {:>14.3e} {:>12.2} {:>12.2} {:>12.2} {:>8.2}",
             row.name, input, ops, ours, row.paper_oi_up, row.oi_manual, ratio

@@ -1,0 +1,78 @@
+//! A minimal, dependency-free timing harness for the `benches/` targets.
+//!
+//! The container this project builds in has no network access, so the usual
+//! Criterion dependency is unavailable; the benches instead use this module
+//! with `harness = false`. The API is intentionally tiny: time a closure a
+//! fixed number of times and report min / median / mean wall-clock.
+
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmark case.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Fastest observed sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Arithmetic mean of the samples.
+    pub mean: Duration,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+impl Timing {
+    fn from_samples(mut samples: Vec<Duration>) -> Timing {
+        samples.sort();
+        let n = samples.len();
+        let total: Duration = samples.iter().sum();
+        Timing {
+            min: samples[0],
+            median: samples[n / 2],
+            mean: total / n as u32,
+            samples: n,
+        }
+    }
+}
+
+/// Runs `f` once as warm-up, then `samples` timed iterations, and prints a
+/// one-line summary. The closure's result is passed through `black_box` so
+/// the work is not optimised away.
+pub fn bench<R>(label: &str, samples: usize, mut f: impl FnMut() -> R) -> Timing {
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        times.push(start.elapsed());
+    }
+    let t = Timing::from_samples(times);
+    println!(
+        "{label:<40} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}  ({} samples)",
+        t.min, t.median, t.mean, t.samples
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_summary_orders_samples() {
+        let t = Timing::from_samples(vec![
+            Duration::from_millis(3),
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+        ]);
+        assert_eq!(t.min, Duration::from_millis(1));
+        assert_eq!(t.median, Duration::from_millis(2));
+        assert_eq!(t.mean, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn bench_runs_closure() {
+        let mut calls = 0usize;
+        bench("noop", 3, || calls += 1);
+        assert_eq!(calls, 4); // 1 warm-up + 3 samples
+    }
+}

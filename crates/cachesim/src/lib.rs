@@ -141,9 +141,9 @@ pub fn simulate_optimal(trace: &[u64], capacity: usize) -> CacheStats {
     let mut stats = CacheStats::default();
     for (i, &a) in trace.iter().enumerate() {
         stats.accesses += 1;
-        if resident.contains_key(&a) {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = resident.entry(a) {
             stats.hits += 1;
-            resident.insert(a, next_use[i]);
+            e.insert(next_use[i]);
             continue;
         }
         stats.misses += 1;

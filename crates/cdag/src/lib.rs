@@ -294,8 +294,16 @@ mod tests {
             .input("A", "[N] -> { A[i] : 0 <= i < N }")
             .input("C", "[M] -> { C[t] : 0 <= t < M }")
             .statement("St", "[M, N] -> { St[t, i] : 0 <= t < M and 0 <= i < N }")
-            .edge("A", "St", "[N] -> { A[i] -> St[t, i2] : t = 0 and i2 = i and 0 <= i < N }")
-            .edge("C", "St", "[M, N] -> { C[t] -> St[t, i] : 0 <= t < M and 0 <= i < N }")
+            .edge(
+                "A",
+                "St",
+                "[N] -> { A[i] -> St[t, i2] : t = 0 and i2 = i and 0 <= i < N }",
+            )
+            .edge(
+                "C",
+                "St",
+                "[M, N] -> { C[t] -> St[t, i] : 0 <= t < M and 0 <= i < N }",
+            )
             .edge(
                 "St",
                 "St",

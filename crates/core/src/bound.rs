@@ -75,7 +75,11 @@ impl LowerBound {
 
 impl fmt::Display for LowerBound {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{} @ {}] Q >= {}", self.technique, self.statement, self.expr)
+        write!(
+            f,
+            "[{} @ {}] Q >= {}",
+            self.technique, self.statement, self.expr
+        )
     }
 }
 

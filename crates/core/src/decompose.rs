@@ -158,7 +158,7 @@ fn project_param(set: &BasicSet, param: &str) -> BasicSet {
         let mut e = c.expr.remap_vars(n + 1, &(0..n).collect::<Vec<_>>());
         if coef != 0 {
             e.var_coeffs[n] = coef;
-            e.param_coeffs.remove(param);
+            e.clear_param(param);
         }
         constraints.push(Constraint {
             expr: e,
@@ -219,8 +219,8 @@ pub fn dim_bounds(domain: &BasicSet, dim: usize, ctx: &Context) -> Option<(Poly,
 
 fn linexpr_to_poly(e: &LinExpr) -> Poly {
     let mut p = Poly::constant(iolb_math::Rational::from_int(e.constant));
-    for (name, &c) in &e.param_coeffs {
-        p = p + Poly::param(name).scale(iolb_math::Rational::from_int(c));
+    for (name, c) in e.param_terms_by_name() {
+        p = p + Poly::param(&name).scale(iolb_math::Rational::from_int(c));
     }
     p
 }
@@ -349,7 +349,10 @@ mod tests {
         };
         let domain = parse_set("[M, N] -> { S2[t, i] : 1 <= t < M and 0 <= i < N }").unwrap();
         let summed = sum_over_parameter(&per_slice, "Omega", &domain, 0, 0, &ctx()).unwrap();
-        let v = summed.expr.eval_params(&[("M", 6), ("N", 100), ("S", 16)]).unwrap();
+        let v = summed
+            .expr
+            .eval_params(&[("M", 6), ("N", 100), ("S", 16)])
+            .unwrap();
         assert_eq!(v, 5.0 * 84.0);
         // With a -1 offset the last slice is dropped: (M-2)(N-S).
         let shifted = sum_over_parameter(
@@ -371,7 +374,10 @@ mod tests {
             &ctx(),
         )
         .unwrap();
-        let v2 = shifted.expr.eval_params(&[("M", 6), ("N", 100), ("S", 16)]).unwrap();
+        let v2 = shifted
+            .expr
+            .eval_params(&[("M", 6), ("N", 100), ("S", 16)])
+            .unwrap();
         assert_eq!(v2, 4.0 * 84.0);
     }
 

@@ -8,7 +8,7 @@
 //! compulsory-miss term `input_size(G)`.
 
 use crate::bound::{Instance, LowerBound};
-use crate::decompose::{combine_sub_bounds, input_size, sum_over_parameter, dim_bounds};
+use crate::decompose::{combine_sub_bounds, dim_bounds, input_size, sum_over_parameter};
 use crate::partition::{partition_bound, PartitionInput};
 use crate::wavefront::{wavefront_bound, WavefrontInput};
 use iolb_dfg::{genpaths, Dfg, DfgPath, GenPathsOptions};
@@ -39,6 +39,11 @@ pub struct AnalysisOptions {
     /// disjoint sub-CDAGs of the same statement may be discovered, e.g. the
     /// two triangles of floyd-warshall / Example 3).
     pub max_rounds_per_statement: usize,
+    /// Fan the per-statement / per-depth candidate derivations out over OS
+    /// threads. Candidates are re-assembled in the deterministic serial
+    /// order before the Lemma-4.2 combination step, so the result is
+    /// byte-identical to a serial run.
+    pub parallel: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -52,6 +57,7 @@ impl Default for AnalysisOptions {
             max_parametrization_depth: 1,
             gamma: (1, 4),
             max_rounds_per_statement: 3,
+            parallel: true,
         }
     }
 }
@@ -105,127 +111,36 @@ impl Analysis {
 
 /// Runs the full IOLB analysis on a DFG (Algorithm 6).
 pub fn analyze(dfg: &Dfg, options: &AnalysisOptions) -> Analysis {
-    let ctx = &options.ctx;
-    let mut candidates: Vec<LowerBound> = Vec::new();
+    let max_depth = dfg.statements().map(|s| s.domain.dim()).max().unwrap_or(0);
 
-    let max_depth = dfg
-        .statements()
-        .map(|s| s.domain.dim())
-        .max()
-        .unwrap_or(0);
-
-    for depth in 0..=options.max_parametrization_depth.min(max_depth.saturating_sub(1)) {
+    // Candidate derivation is independent per (parametrization depth,
+    // statement) pair — only the Lemma-4.2 combination below needs the whole
+    // collection — so the jobs can fan out over threads. The job list and the
+    // per-job candidate order are deterministic, and results are flattened in
+    // job order, so parallel and serial runs produce identical candidates.
+    let mut jobs: Vec<(usize, String)> = Vec::new();
+    for depth in 0..=options
+        .max_parametrization_depth
+        .min(max_depth.saturating_sub(1))
+    {
         for stmt in dfg.statements() {
             if stmt.domain.dim() < depth + 1 {
                 continue;
             }
-            // Parametrize the outermost `depth` dimensions (Sec. 4.3).
-            let omegas: Vec<String> = (0..depth).map(|k| format!("Omega{k}")).collect();
-            let mut parametrized_domain = stmt.domain.clone();
-            for (k, om) in omegas.iter().enumerate() {
-                parametrized_domain = parametrized_domain.fix_dim_to_param(k, om);
-            }
-            let parametrized_dfg = if depth == 0 {
-                dfg.clone()
-            } else {
-                restrict_statement(dfg, &stmt.name, &parametrized_domain)
-            };
-
-            // --- K-partition bounds on a shrinking working copy. ---
-            let mut working = parametrized_dfg.clone();
-            for _round in 0..options.max_rounds_per_statement {
-                let Some(node) = working.node(&stmt.name) else { break };
-                let mut ds = node.domain.clone();
-                if ds.is_empty() {
-                    break;
-                }
-                let all_paths = genpaths(&working, &stmt.name, &ds, &options.genpaths);
-                if all_paths.is_empty() {
-                    break;
-                }
-                // Incrementally add paths whose kernel changes the lattice and
-                // whose domain keeps covering a γ-fraction of D_S.
-                let dim = ds.dim();
-                let mut lattice = Lattice::new(dim);
-                let mut selected: Vec<DfgPath> = Vec::new();
-                for p in &all_paths {
-                    let path_dom = p.relation.range();
-                    let candidate_ds = ds.intersect(&path_dom);
-                    if !covers_gamma_fraction(&candidate_ds, &stmt.domain, ctx, options) {
-                        continue;
-                    }
-                    // Cap the lattice size: a handful of reuse directions is
-                    // enough for a tight exponent, and very large lattices
-                    // make the exact-rational LP blow up (the analogue of the
-                    // paper's projection-count time-out).
-                    let saved_lattice = lattice.clone();
-                    match lattice.insert_closure(&p.kernel(), options.lattice_budget) {
-                        Ok(true) => {
-                            if lattice.len() > 24 && !selected.is_empty() {
-                                lattice = saved_lattice;
-                                continue;
-                            }
-                            ds = candidate_ds;
-                            selected.push(p.clone());
-                        }
-                        Ok(false) => {
-                            // Kernel already represented: the path adds an
-                            // extra projection with an existing kernel; keep
-                            // it only if it could improve interference
-                            // coefficients (same-kernel duplicates rarely do).
-                        }
-                        Err(_) => {
-                            // Lattice budget exhausted: skip this path.
-                        }
-                    }
-                }
-                if selected.is_empty() {
-                    break;
-                }
-                let pin = PartitionInput {
-                    paths: &selected,
-                    domain: &ds,
-                    lattice: &lattice,
-                    ctx,
-                    cache_param: &options.cache_param,
-                };
-                let Some(bound) = partition_bound(&pin) else { break };
-                let spill = bound.may_spill.clone();
-                candidates.push(finalize(bound, depth, &omegas, &stmt.domain, dfg, ctx));
-                // Shrink the working DFG and try to find another combination
-                // (this is what decomposes lu / floyd-warshall per statement).
-                working = working.restrict_domains(&spill);
-            }
-
-            // --- Wavefront bound for parametrized depths. ---
-            if depth >= 1 {
-                // The wavefront needs the advanced dimension to remain free in
-                // the DFG (the step relation crosses slices), so only the
-                // dimensions *before* it are restricted; the slice domain
-                // additionally pins the advanced dimension to its Ω.
-                let mut outer_domain = stmt.domain.clone();
-                for (k, om) in omegas.iter().enumerate().take(depth - 1) {
-                    outer_domain = outer_domain.fix_dim_to_param(k, om);
-                }
-                let wavefront_dfg = if depth >= 2 {
-                    restrict_statement(dfg, &stmt.name, &outer_domain)
-                } else {
-                    dfg.clone()
-                };
-                let win = WavefrontInput {
-                    dfg: &wavefront_dfg,
-                    statement: &stmt.name,
-                    slice_domain: &parametrized_domain,
-                    advance_dim: depth - 1,
-                    ctx,
-                    cache_param: &options.cache_param,
-                };
-                if let Some(bound) = wavefront_bound(&win) {
-                    candidates.push(finalize(bound, depth, &omegas, &stmt.domain, dfg, ctx));
-                }
-            }
+            jobs.push((depth, stmt.name.clone()));
         }
     }
+    let per_job: Vec<Vec<LowerBound>> = if options.parallel && jobs.len() > 1 {
+        crate::par::parallel_map(&jobs, |(depth, name)| {
+            derive_candidates(dfg, options, *depth, name)
+        })
+    } else {
+        jobs.iter()
+            .map(|(depth, name)| derive_candidates(dfg, options, *depth, name))
+            .collect()
+    };
+    let candidates: Vec<LowerBound> = per_job.into_iter().flatten().collect();
+    let ctx = &options.ctx;
 
     // --- Combine the candidates (Algorithm 1). ---
     let instance = options
@@ -253,11 +168,141 @@ pub fn analyze(dfg: &Dfg, options: &AnalysisOptions) -> Analysis {
     Analysis {
         q_low,
         input_size: input,
-        accepted: best_accepted.iter().map(|&i| candidates[i].clone()).collect(),
+        accepted: best_accepted
+            .iter()
+            .map(|&i| candidates[i].clone())
+            .collect(),
         candidates,
         total_ops: dfg.total_ops(ctx),
         cache_param: options.cache_param.clone(),
     }
+}
+
+/// Derives every candidate bound for one (parametrization depth, statement)
+/// pair: the K-partition bounds of the shrinking-working-copy rounds and, for
+/// parametrized depths, the wavefront bound.
+fn derive_candidates(
+    dfg: &Dfg,
+    options: &AnalysisOptions,
+    depth: usize,
+    stmt_name: &str,
+) -> Vec<LowerBound> {
+    let ctx = &options.ctx;
+    let mut candidates: Vec<LowerBound> = Vec::new();
+    let Some(stmt) = dfg.node(stmt_name) else {
+        return candidates;
+    };
+
+    // Parametrize the outermost `depth` dimensions (Sec. 4.3).
+    let omegas: Vec<String> = (0..depth).map(|k| format!("Omega{k}")).collect();
+    let mut parametrized_domain = stmt.domain.clone();
+    for (k, om) in omegas.iter().enumerate() {
+        parametrized_domain = parametrized_domain.fix_dim_to_param(k, om);
+    }
+    let parametrized_dfg = if depth == 0 {
+        dfg.clone()
+    } else {
+        restrict_statement(dfg, &stmt.name, &parametrized_domain)
+    };
+
+    // --- K-partition bounds on a shrinking working copy. ---
+    let mut working = parametrized_dfg.clone();
+    for _round in 0..options.max_rounds_per_statement {
+        let Some(node) = working.node(&stmt.name) else {
+            break;
+        };
+        let mut ds = node.domain.clone();
+        if ds.is_empty() {
+            break;
+        }
+        let all_paths = genpaths(&working, &stmt.name, &ds, &options.genpaths);
+        if all_paths.is_empty() {
+            break;
+        }
+        // Incrementally add paths whose kernel changes the lattice and
+        // whose domain keeps covering a γ-fraction of D_S.
+        let dim = ds.dim();
+        let mut lattice = Lattice::new(dim);
+        let mut selected: Vec<DfgPath> = Vec::new();
+        for p in &all_paths {
+            let path_dom = p.relation.range();
+            let candidate_ds = ds.intersect(&path_dom);
+            if !covers_gamma_fraction(&candidate_ds, &stmt.domain, ctx, options) {
+                continue;
+            }
+            // Cap the lattice size: a handful of reuse directions is
+            // enough for a tight exponent, and very large lattices
+            // make the exact-rational LP blow up (the analogue of the
+            // paper's projection-count time-out).
+            let saved_lattice = lattice.clone();
+            match lattice.insert_closure(&p.kernel(), options.lattice_budget) {
+                Ok(true) => {
+                    if lattice.len() > 24 && !selected.is_empty() {
+                        lattice = saved_lattice;
+                        continue;
+                    }
+                    ds = candidate_ds;
+                    selected.push(p.clone());
+                }
+                Ok(false) => {
+                    // Kernel already represented: the path adds an
+                    // extra projection with an existing kernel; keep
+                    // it only if it could improve interference
+                    // coefficients (same-kernel duplicates rarely do).
+                }
+                Err(_) => {
+                    // Lattice budget exhausted: skip this path.
+                }
+            }
+        }
+        if selected.is_empty() {
+            break;
+        }
+        let pin = PartitionInput {
+            paths: &selected,
+            domain: &ds,
+            lattice: &lattice,
+            ctx,
+            cache_param: &options.cache_param,
+        };
+        let Some(bound) = partition_bound(&pin) else {
+            break;
+        };
+        let spill = bound.may_spill.clone();
+        candidates.push(finalize(bound, depth, &omegas, &stmt.domain, dfg, ctx));
+        // Shrink the working DFG and try to find another combination
+        // (this is what decomposes lu / floyd-warshall per statement).
+        working = working.restrict_domains(&spill);
+    }
+
+    // --- Wavefront bound for parametrized depths. ---
+    if depth >= 1 {
+        // The wavefront needs the advanced dimension to remain free in
+        // the DFG (the step relation crosses slices), so only the
+        // dimensions *before* it are restricted; the slice domain
+        // additionally pins the advanced dimension to its Ω.
+        let mut outer_domain = stmt.domain.clone();
+        for (k, om) in omegas.iter().enumerate().take(depth - 1) {
+            outer_domain = outer_domain.fix_dim_to_param(k, om);
+        }
+        let wavefront_dfg = if depth >= 2 {
+            restrict_statement(dfg, &stmt.name, &outer_domain)
+        } else {
+            dfg.clone()
+        };
+        let win = WavefrontInput {
+            dfg: &wavefront_dfg,
+            statement: &stmt.name,
+            slice_domain: &parametrized_domain,
+            advance_dim: depth - 1,
+            ctx,
+            cache_param: &options.cache_param,
+        };
+        if let Some(bound) = wavefront_bound(&win) {
+            candidates.push(finalize(bound, depth, &omegas, &stmt.domain, dfg, ctx));
+        }
+    }
+    candidates
 }
 
 fn instances_or_default(options: &AnalysisOptions) -> Vec<Instance> {
@@ -413,10 +458,7 @@ mod tests {
         let oi = iolb_symbol::asymptotic::asymptotic_ratio(&ops, &analysis.q_low, "S").unwrap();
         assert_eq!(oi.to_string(), "S^(1/2)");
         // The bound includes the compulsory misses.
-        assert_eq!(
-            analysis.input_size.to_string(),
-            "Ni*Nj + Ni*Nk + Nj*Nk"
-        );
+        assert_eq!(analysis.input_size.to_string(), "Ni*Nj + Ni*Nk + Nj*Nk");
     }
 
     #[test]
@@ -431,7 +473,9 @@ mod tests {
         let options = AnalysisOptions::with_default_instance(&["N"], 1024, 128);
         let analysis = analyze(&g, &options);
         assert_eq!(analysis.q_asymptotic().to_string(), "N");
-        let v = analysis.q_at(&Instance::from_pairs(&[("N", 1000), ("S", 128)])).unwrap();
+        let v = analysis
+            .q_at(&Instance::from_pairs(&[("N", 1000), ("S", 128)]))
+            .unwrap();
         assert!(v >= 1000.0);
     }
 }

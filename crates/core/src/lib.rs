@@ -67,6 +67,7 @@ pub mod decompose;
 pub mod driver;
 pub mod interference;
 pub mod oi;
+pub mod par;
 pub mod partition;
 pub mod report;
 pub mod wavefront;

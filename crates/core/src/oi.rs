@@ -106,12 +106,9 @@ mod tests {
         let n = Poly::param("N");
         let s = Poly::param("S");
         let ops = Poly::int(2) * n.clone() * n.clone() * n.clone();
-        let partition = Poly::int(2)
-            * n.clone()
-            * n.clone()
-            * n.clone()
-            * s.pow_rational(rat(-1, 2)).unwrap()
-            - Poly::int(4) * s.clone();
+        let partition =
+            Poly::int(2) * n.clone() * n.clone() * n.clone() * s.pow_rational(rat(-1, 2)).unwrap()
+                - Poly::int(4) * s.clone();
         let q_low = Expr::from_poly(Poly::int(3) * n.clone() * n.clone())
             + Expr::from_poly(partition).max_with_zero();
         let q_asymptotic = asymptotic::simplify(&q_low, "S");

@@ -40,7 +40,12 @@ impl Report {
             .and_then(|o| o.oi_up.clone())
             .map(|p| p.to_string())
             .unwrap_or_else(|| "-".to_string());
-        format!("{:<16} Q∞ = {:<28} OI_up = {}", self.kernel, q.to_string(), oi)
+        format!(
+            "{:<16} Q∞ = {:<28} OI_up = {}",
+            self.kernel,
+            q.to_string(),
+            oi
+        )
     }
 }
 

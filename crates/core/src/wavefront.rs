@@ -367,7 +367,10 @@ mod tests {
         assert_eq!(v, 100.0 - 16.0);
         // The may-spill set covers the S2 slice and the next S1 slice, but
         // not the next S2 slice — so consecutive slices do not interfere.
-        assert!(crate::decompose::slices_are_disjoint(&bound.may_spill, "Omega0"));
+        assert!(crate::decompose::slices_are_disjoint(
+            &bound.may_spill,
+            "Omega0"
+        ));
     }
 
     #[test]
@@ -376,10 +379,15 @@ mod tests {
         let g = Dfg::builder()
             .input("A", "[N] -> { A[i] : 0 <= i < N }")
             .statement("St", "[N] -> { St[i] : 0 <= i < N }")
-            .edge("A", "St", "[N] -> { A[i] -> St[i2] : i2 = i and 0 <= i < N }")
+            .edge(
+                "A",
+                "St",
+                "[N] -> { A[i] -> St[i2] : i2 = i and 0 <= i < N }",
+            )
             .build()
             .unwrap();
-        let slice = iolb_poly::parse_set("[N, Omega0] -> { St[i] : i = Omega0 and 0 <= i < N }").unwrap();
+        let slice =
+            iolb_poly::parse_set("[N, Omega0] -> { St[i] : i = Omega0 and 0 <= i < N }").unwrap();
         let input = WavefrontInput {
             dfg: &g,
             statement: "St",

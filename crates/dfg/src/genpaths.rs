@@ -63,7 +63,7 @@ pub fn genpaths(
         let current = visited.last().expect("non-empty walk").clone();
         // A circuit closes when we come back to the target; do not extend
         // beyond that (elementary paths only).
-        if current == target && edges_rev.len() > 0 {
+        if current == target && !edges_rev.is_empty() {
             continue;
         }
         for (ei, e) in dfg.edges_into(&current) {
@@ -100,7 +100,8 @@ pub fn genpaths(
         let Some(kind) = classify(dfg, &walk, &restricted) else {
             continue;
         };
-        let mut vertices: Vec<String> = walk.iter().map(|&ei| dfg.edges()[ei].src.clone()).collect();
+        let mut vertices: Vec<String> =
+            walk.iter().map(|&ei| dfg.edges()[ei].src.clone()).collect();
         vertices.push(target.to_string());
         out.push(DfgPath {
             vertices,
@@ -125,8 +126,16 @@ mod tests {
             .input("A", "[N] -> { A[i] : 0 <= i < N }")
             .input("C", "[M] -> { C[t] : 0 <= t < M }")
             .statement("S", "[M, N] -> { S[t, i] : 0 <= t < M and 0 <= i < N }")
-            .edge("A", "S", "[N] -> { A[i] -> S[t, i2] : t = 0 and i2 = i and 1 <= i < N }")
-            .edge("C", "S", "[M, N] -> { C[t] -> S[t, i] : 0 <= t < M and 0 <= i < N }")
+            .edge(
+                "A",
+                "S",
+                "[N] -> { A[i] -> S[t, i2] : t = 0 and i2 = i and 1 <= i < N }",
+            )
+            .edge(
+                "C",
+                "S",
+                "[M, N] -> { C[t] -> S[t, i] : 0 <= t < M and 0 <= i < N }",
+            )
             .edge(
                 "S",
                 "S",

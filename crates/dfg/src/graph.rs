@@ -218,9 +218,13 @@ impl Dfg {
 fn largest_piece(set: &Set, original: &BasicSet) -> BasicSet {
     if set.parts().is_empty() {
         // Empty domain: original constrained to be empty.
-        return original.clone().fix_dim(0, 0).constrain(iolb_poly::Constraint::ge0(
-            iolb_poly::LinExpr::constant(original.dim(), -1),
-        ));
+        return original
+            .clone()
+            .fix_dim(0, 0)
+            .constrain(iolb_poly::Constraint::ge0(iolb_poly::LinExpr::constant(
+                original.dim(),
+                -1,
+            )));
     }
     if set.parts().len() == 1 {
         return set.parts()[0].clone();
@@ -231,11 +235,12 @@ fn largest_piece(set: &Set, original: &BasicSet) -> BasicSet {
         let size = iolb_poly::count::card_basic(p, &ctx)
             .and_then(|c| c.eval_f64(&sample_env(&c)))
             .unwrap_or(0.0);
-        if best.map_or(true, |(_, s)| size > s) {
+        if best.is_none_or(|(_, s)| size > s) {
             best = Some((p, size));
         }
     }
-    best.map(|(p, _)| p.clone()).unwrap_or_else(|| set.parts()[0].clone())
+    best.map(|(p, _)| p.clone())
+        .unwrap_or_else(|| set.parts()[0].clone())
 }
 
 fn sample_env(p: &iolb_symbol::Poly) -> std::collections::BTreeMap<String, f64> {
@@ -362,7 +367,12 @@ impl DfgBuilder {
 
 impl fmt::Display for Dfg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "DFG with {} vertices, {} edges", self.nodes.len(), self.edges.len())?;
+        writeln!(
+            f,
+            "DFG with {} vertices, {} edges",
+            self.nodes.len(),
+            self.edges.len()
+        )?;
         for n in &self.nodes {
             writeln!(
                 f,
@@ -388,8 +398,16 @@ mod tests {
             .input("A", "[N] -> { A[i] : 0 <= i < N }")
             .input("C", "[M] -> { C[t] : 0 <= t < M }")
             .statement("S", "[M, N] -> { S[t, i] : 0 <= t < M and 0 <= i < N }")
-            .edge("A", "S", "[N] -> { A[i] -> S[t, i2] : t = 0 and i2 = i and 1 <= i < N }")
-            .edge("C", "S", "[M, N] -> { C[t] -> S[t, i] : 0 <= t < M and 0 <= i < N }")
+            .edge(
+                "A",
+                "S",
+                "[N] -> { A[i] -> S[t, i2] : t = 0 and i2 = i and 1 <= i < N }",
+            )
+            .edge(
+                "C",
+                "S",
+                "[M, N] -> { C[t] -> S[t, i] : 0 <= t < M and 0 <= i < N }",
+            )
             .edge(
                 "S",
                 "S",
@@ -414,7 +432,9 @@ mod tests {
     #[test]
     fn ops_and_input_size() {
         let g = example1();
-        let ctx = iolb_poly::Context::empty().assume_ge("N", 2).assume_ge("M", 2);
+        let ctx = iolb_poly::Context::empty()
+            .assume_ge("N", 2)
+            .assume_ge("M", 2);
         assert_eq!(g.total_ops(&ctx).unwrap().to_string(), "M*N");
         assert_eq!(g.input_size(&ctx).unwrap().to_string(), "M + N");
     }

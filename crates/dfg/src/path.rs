@@ -29,7 +29,9 @@ impl PathKind {
     /// statement's iteration space.
     pub fn kernel(&self, target_dim: usize) -> Subspace {
         match self {
-            PathKind::Chain { delta } => Subspace::from_int_vectors(target_dim, &[delta.clone()]),
+            PathKind::Chain { delta } => {
+                Subspace::from_int_vectors(target_dim, std::slice::from_ref(delta))
+            }
             PathKind::Broadcast { function } => function.kernel(),
         }
     }
@@ -89,10 +91,15 @@ impl DfgPath {
 
 impl fmt::Display for DfgPath {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "path {} [{}]", self.vertices.join(" -> "), match &self.kind {
-            PathKind::Chain { delta } => format!("chain δ={delta:?}"),
-            PathKind::Broadcast { .. } => "broadcast".to_string(),
-        })
+        write!(
+            f,
+            "path {} [{}]",
+            self.vertices.join(" -> "),
+            match &self.kind {
+                PathKind::Chain { delta } => format!("chain δ={delta:?}"),
+                PathKind::Broadcast { .. } => "broadcast".to_string(),
+            }
+        )
     }
 }
 
@@ -130,11 +137,7 @@ pub(crate) fn compose_walk(
 
 /// Classifies a composed path relation as a chain circuit or a broadcast path
 /// (Definition 5.1), or returns `None` if it is neither.
-pub(crate) fn classify(
-    dfg: &Dfg,
-    edge_indices: &[usize],
-    relation: &BasicMap,
-) -> Option<PathKind> {
+pub(crate) fn classify(dfg: &Dfg, edge_indices: &[usize], relation: &BasicMap) -> Option<PathKind> {
     let edges = dfg.edges();
     let first = &edges[edge_indices[0]];
     let last = &edges[*edge_indices.last().unwrap()];
@@ -172,8 +175,16 @@ mod tests {
             .input("A", "[N] -> { A[i] : 0 <= i < N }")
             .input("C", "[M] -> { C[t] : 0 <= t < M }")
             .statement("S", "[M, N] -> { S[t, i] : 0 <= t < M and 0 <= i < N }")
-            .edge("A", "S", "[N] -> { A[i] -> S[t, i2] : t = 0 and i2 = i and 1 <= i < N }")
-            .edge("C", "S", "[M, N] -> { C[t] -> S[t, i] : 0 <= t < M and 0 <= i < N }")
+            .edge(
+                "A",
+                "S",
+                "[N] -> { A[i] -> S[t, i2] : t = 0 and i2 = i and 1 <= i < N }",
+            )
+            .edge(
+                "C",
+                "S",
+                "[M, N] -> { C[t] -> S[t, i] : 0 <= t < M and 0 <= i < N }",
+            )
             .edge(
                 "S",
                 "S",
@@ -231,8 +242,15 @@ mod tests {
         let g = Dfg::builder()
             .input("A", "[N] -> { A[i] : 0 <= i < N }")
             .statement("B", "[N] -> { B[i, j] : 0 <= i < N and 0 <= j < N }")
-            .statement("Ct", "[N] -> { Ct[i, j, k] : 0 <= i < N and 0 <= j < N and 0 <= k < N }")
-            .edge("A", "B", "[N] -> { A[i] -> B[i2, j] : i2 = i and 0 <= i < N and 0 <= j < N }")
+            .statement(
+                "Ct",
+                "[N] -> { Ct[i, j, k] : 0 <= i < N and 0 <= j < N and 0 <= k < N }",
+            )
+            .edge(
+                "A",
+                "B",
+                "[N] -> { A[i] -> B[i2, j] : i2 = i and 0 <= i < N and 0 <= j < N }",
+            )
             .edge(
                 "B",
                 "Ct",

@@ -151,6 +151,7 @@ pub struct Program {
 
 impl Program {
     /// Starts building a program.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new() -> ProgramBuilder {
         ProgramBuilder::default()
     }
@@ -295,7 +296,8 @@ mod tests {
             )
             .build();
         let dfg = program.to_dfg().unwrap();
-        let mut options = iolb_core::AnalysisOptions::with_default_instance(&["Ni", "Nj", "Nk"], 512, 1024);
+        let mut options =
+            iolb_core::AnalysisOptions::with_default_instance(&["Ni", "Nj", "Nk"], 512, 1024);
         options.max_parametrization_depth = 0;
         let analysis = iolb_core::analyze(&dfg, &options);
         assert_eq!(analysis.q_asymptotic().to_string(), "2*Ni*Nj*Nk*S^(-1/2)");

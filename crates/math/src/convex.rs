@@ -77,7 +77,10 @@ impl ExponentProblem {
             LinearProgram::maximize(objective)
         };
         for (ranks, rank_h) in &self.rank_constraints {
-            let coeffs: Vec<Rational> = ranks.iter().map(|&r| Rational::from_int(r as i128)).collect();
+            let coeffs: Vec<Rational> = ranks
+                .iter()
+                .map(|&r| Rational::from_int(r as i128))
+                .collect();
             lp.add_constraint(LinearConstraint {
                 coeffs,
                 op: ConstraintOp::Ge,
@@ -137,11 +140,8 @@ impl ExponentProblem {
         // (the unconstrained optimum of the Lagrangian in Lemma 5.2).
         let beta_sum: Rational = self.betas.iter().copied().sum();
         if beta_sum.is_positive() {
-            let weighted: Vec<Rational> = self
-                .betas
-                .iter()
-                .map(|&b| sigma * b / beta_sum)
-                .collect();
+            let weighted: Vec<Rational> =
+                self.betas.iter().map(|&b| sigma * b / beta_sum).collect();
             if self.is_feasible(&weighted, sigma) {
                 let v = self.second_factor(&weighted, sigma);
                 if v < best_val {
@@ -183,7 +183,7 @@ impl ExponentProblem {
                 }
             }
             if !improved {
-                step = step / Rational::from_int(2);
+                step /= Rational::from_int(2);
             }
         }
         if current_val < best_val {

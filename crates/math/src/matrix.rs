@@ -148,7 +148,11 @@ impl Matrix {
 
     /// Matrix-vector product.
     pub fn mul_vec(&self, v: &[Rational]) -> Vec<Rational> {
-        assert_eq!(self.cols, v.len(), "dimension mismatch in matrix-vector product");
+        assert_eq!(
+            self.cols,
+            v.len(),
+            "dimension mismatch in matrix-vector product"
+        );
         (0..self.rows)
             .map(|i| {
                 (0..self.cols)

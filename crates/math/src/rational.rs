@@ -10,24 +10,32 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
-/// Greatest common divisor of two non-negative integers.
-pub fn gcd(mut a: i128, mut b: i128) -> i128 {
-    a = a.abs();
-    b = b.abs();
+/// Greatest common divisor of two integers (result is non-negative).
+///
+/// Computed over unsigned magnitudes so that `i128::MIN` — whose absolute
+/// value does not fit in `i128` — is handled without overflow: e.g.
+/// `gcd(i128::MIN, 0)` would need to return `2^127`, which is clamped to
+/// `i128::MAX`; every representable result is exact.
+pub fn gcd(a: i128, b: i128) -> i128 {
+    let mut a = a.unsigned_abs();
+    let mut b = b.unsigned_abs();
     while b != 0 {
         let t = a % b;
         a = b;
         b = t;
     }
-    a
+    i128::try_from(a).unwrap_or(i128::MAX)
 }
 
-/// Least common multiple of two integers (result is non-negative).
+/// Least common multiple of two integers (result is non-negative, saturating
+/// at `i128::MAX` when the true value overflows).
 pub fn lcm(a: i128, b: i128) -> i128 {
     if a == 0 || b == 0 {
         return 0;
     }
-    (a / gcd(a, b)).abs() * b.abs()
+    let g = gcd(a, b).unsigned_abs();
+    let l = (a.unsigned_abs() / g).saturating_mul(b.unsigned_abs());
+    i128::try_from(l).unwrap_or(i128::MAX)
 }
 
 /// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
@@ -265,6 +273,7 @@ impl Mul for Rational {
 
 impl Div for Rational {
     type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Rational) -> Rational {
         self * rhs.recip()
     }
@@ -335,6 +344,27 @@ mod tests {
         assert_eq!(gcd(-12, 18), 6);
         assert_eq!(lcm(4, 6), 12);
         assert_eq!(lcm(0, 6), 0);
+        assert_eq!(lcm(-4, 6), 12);
+    }
+
+    #[test]
+    fn gcd_lcm_extreme_magnitudes() {
+        // i128::MIN.abs() would overflow a naive implementation.
+        assert_eq!(gcd(i128::MIN, 2), 2);
+        assert_eq!(gcd(2, i128::MIN), 2);
+        assert_eq!(gcd(i128::MIN, i128::MIN), i128::MAX); // true value 2^127 clamps
+        assert_eq!(gcd(i128::MIN, 0), i128::MAX); // true value 2^127 clamps
+        assert_eq!(gcd(0, i128::MIN), i128::MAX);
+        assert_eq!(gcd(i128::MIN, 3), 1);
+        assert_eq!(gcd(i128::MIN + 1, i128::MIN + 1), i128::MAX); // |MIN+1| = MAX
+                                                                  // lcm saturates instead of wrapping.
+        assert_eq!(lcm(i128::MIN, 2), i128::MAX);
+        assert_eq!(lcm(i128::MAX, 2), i128::MAX);
+        assert_eq!(lcm(i128::MAX, i128::MAX), i128::MAX);
+        assert_eq!(lcm(i128::MIN, 0), 0);
+        // Exact results near the extremes stay exact.
+        assert_eq!(lcm(i128::MAX, 1), i128::MAX);
+        assert_eq!(gcd(i128::MAX, i128::MAX), i128::MAX);
     }
 
     #[test]
@@ -398,7 +428,7 @@ mod tests {
 
     #[test]
     fn sums_and_products() {
-        let v = vec![rat(1, 2), rat(1, 3), rat(1, 6)];
+        let v = [rat(1, 2), rat(1, 3), rat(1, 6)];
         let s: Rational = v.iter().copied().sum();
         assert_eq!(s, Rational::ONE);
         let p: Rational = v.iter().copied().product();

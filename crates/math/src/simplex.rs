@@ -160,11 +160,7 @@ impl LinearProgram {
     /// Panics if the coefficient vector length differs from the number of
     /// variables.
     pub fn add_constraint(&mut self, c: LinearConstraint) -> &mut Self {
-        assert_eq!(
-            c.coeffs.len(),
-            self.num_vars(),
-            "constraint arity mismatch"
-        );
+        assert_eq!(c.coeffs.len(), self.num_vars(), "constraint arity mismatch");
         self.constraints.push(c);
         self
     }
@@ -237,7 +233,11 @@ impl LinearProgram {
                 }
             }
             // Reduced cost for phase 1 (objective = sum of artificial = sum of rows).
-            tableau[(m, j)] = if j < total_structural { -s } else { Rational::ZERO };
+            tableau[(m, j)] = if j < total_structural {
+                -s
+            } else {
+                Rational::ZERO
+            };
         }
         let rhs_sum: Rational = (0..m).map(|i| tableau[(i, total)]).sum();
         tableau[(m, total)] = -rhs_sum;
@@ -269,7 +269,11 @@ impl LinearProgram {
 
         // Phase 2: rebuild the objective row for the real objective.
         // Work with maximization internally.
-        let obj_sign = if self.minimize { -Rational::ONE } else { Rational::ONE };
+        let obj_sign = if self.minimize {
+            -Rational::ONE
+        } else {
+            Rational::ONE
+        };
         for j in 0..=total {
             tableau[(m, j)] = Rational::ZERO;
         }

@@ -1,6 +1,12 @@
 //! Integer affine expressions and constraints over set/map dimensions and
 //! symbolic parameters.
+//!
+//! Parameter names are interned (see [`crate::interner`]); an expression's
+//! parameter part is a compact `Vec<(ParamId, i128)>` sorted by id, so the
+//! hot-path operations (add, scale, gcd-normalisation) are allocation-light
+//! two-pointer merges over `u32` keys instead of `BTreeMap<String, _>` walks.
 
+use crate::interner::{self, ParamId};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -8,14 +14,56 @@ use std::fmt;
 /// `Σ_i var_coeffs[i]·x_i + Σ_p param_coeffs[p]·p + constant`
 /// over a fixed number of (anonymous, position-indexed) variables and named
 /// program parameters.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct LinExpr {
     /// Coefficients of the (positional) variables.
     pub var_coeffs: Vec<i128>,
-    /// Coefficients of named parameters (only non-zero entries are stored).
-    pub param_coeffs: BTreeMap<String, i128>,
+    /// Coefficients of interned parameters: only non-zero entries are stored,
+    /// sorted by [`ParamId`]. Maintain both invariants when mutating directly
+    /// (or use [`LinExpr::set_param_coeff`] / [`LinExpr::clear_param`]).
+    pub param_coeffs: Vec<(ParamId, i128)>,
     /// Constant term.
     pub constant: i128,
+}
+
+/// Merges two sorted coefficient lists as `ka·a + kb·b`, dropping zero
+/// entries (the single-allocation kernel under [`LinExpr::add_scaled`] and
+/// the Fourier–Motzkin combination step).
+pub(crate) fn merge_params_scaled(
+    a: &[(ParamId, i128)],
+    ka: i128,
+    b: &[(ParamId, i128)],
+    kb: i128,
+) -> Vec<(ParamId, i128)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (pa, ca) = a[i];
+        let (pb, cb) = b[j];
+        match pa.cmp(&pb) {
+            std::cmp::Ordering::Less => {
+                out.push((pa, ka * ca));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push((pb, kb * cb));
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((pa, ka * ca + kb * cb));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &(p, c) in &a[i..] {
+        out.push((p, ka * c));
+    }
+    for &(p, c) in &b[j..] {
+        out.push((p, kb * c));
+    }
+    out.retain(|&(_, c)| c != 0);
+    out
 }
 
 impl LinExpr {
@@ -23,7 +71,7 @@ impl LinExpr {
     pub fn zero(nvars: usize) -> Self {
         LinExpr {
             var_coeffs: vec![0; nvars],
-            param_coeffs: BTreeMap::new(),
+            param_coeffs: Vec::new(),
             constant: 0,
         }
     }
@@ -45,7 +93,7 @@ impl LinExpr {
     /// The expression `p` for a named parameter.
     pub fn param(nvars: usize, name: &str) -> Self {
         let mut e = LinExpr::zero(nvars);
-        e.param_coeffs.insert(name.to_string(), 1);
+        e.param_coeffs.push((interner::intern(name), 1));
         e
     }
 
@@ -61,14 +109,63 @@ impl LinExpr {
 
     /// Coefficient of a named parameter.
     pub fn param_coeff(&self, name: &str) -> i128 {
-        self.param_coeffs.get(name).copied().unwrap_or(0)
+        interner::lookup(name)
+            .map(|id| self.param_coeff_id(id))
+            .unwrap_or(0)
+    }
+
+    /// Coefficient of an interned parameter.
+    pub fn param_coeff_id(&self, id: ParamId) -> i128 {
+        match self.param_coeffs.binary_search_by_key(&id, |&(p, _)| p) {
+            Ok(i) => self.param_coeffs[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Sets (or clears, when `c == 0`) the coefficient of an interned
+    /// parameter, keeping the list sorted.
+    pub fn set_param_coeff(&mut self, id: ParamId, c: i128) {
+        match self.param_coeffs.binary_search_by_key(&id, |&(p, _)| p) {
+            Ok(i) => {
+                if c == 0 {
+                    self.param_coeffs.remove(i);
+                } else {
+                    self.param_coeffs[i].1 = c;
+                }
+            }
+            Err(i) => {
+                if c != 0 {
+                    self.param_coeffs.insert(i, (id, c));
+                }
+            }
+        }
+    }
+
+    /// Removes a parameter from the expression (no-op if absent).
+    pub fn clear_param(&mut self, name: &str) {
+        if let Some(id) = interner::lookup(name) {
+            self.set_param_coeff(id, 0);
+        }
+    }
+
+    /// The `(name, coefficient)` pairs of the (non-zero) parameter terms,
+    /// sorted by parameter *name* — the deterministic order for display and
+    /// conversion to symbolic polynomials.
+    pub fn param_terms_by_name(&self) -> Vec<(std::sync::Arc<str>, i128)> {
+        let mut out: Vec<(std::sync::Arc<str>, i128)> = self
+            .param_coeffs
+            .iter()
+            .map(|&(id, c)| (interner::resolve(id), c))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Returns true if every coefficient and the constant are zero.
     pub fn is_zero(&self) -> bool {
         self.constant == 0
             && self.var_coeffs.iter().all(|&c| c == 0)
-            && self.param_coeffs.values().all(|&c| c == 0)
+            && self.param_coeffs.iter().all(|&(_, c)| c == 0)
     }
 
     /// Returns true if no variable appears (parameters and constant only).
@@ -78,40 +175,71 @@ impl LinExpr {
 
     /// Adds another expression (must have the same number of variables).
     pub fn add(&self, other: &LinExpr) -> LinExpr {
-        assert_eq!(self.num_vars(), other.num_vars(), "variable arity mismatch");
-        let mut out = self.clone();
-        for (i, c) in other.var_coeffs.iter().enumerate() {
-            out.var_coeffs[i] += c;
-        }
-        for (p, c) in &other.param_coeffs {
-            *out.param_coeffs.entry(p.clone()).or_insert(0) += c;
-        }
-        out.constant += other.constant;
-        out.cleanup();
-        out
+        self.add_scaled(other, 1)
     }
 
     /// Subtracts another expression.
     pub fn sub(&self, other: &LinExpr) -> LinExpr {
-        self.add(&other.scale(-1))
+        self.add_scaled(other, -1)
+    }
+
+    /// Computes `self + k·other` in one pass (the fused form the elimination
+    /// inner loops use to avoid intermediate allocations).
+    pub fn add_scaled(&self, other: &LinExpr, k: i128) -> LinExpr {
+        assert_eq!(self.num_vars(), other.num_vars(), "variable arity mismatch");
+        let mut var_coeffs = self.var_coeffs.clone();
+        for (i, c) in other.var_coeffs.iter().enumerate() {
+            var_coeffs[i] += k * c;
+        }
+        LinExpr {
+            var_coeffs,
+            param_coeffs: merge_params_scaled(&self.param_coeffs, 1, &other.param_coeffs, k),
+            constant: self.constant + k * other.constant,
+        }
+    }
+
+    /// Computes `ka·a + kb·b` with variable `drop_idx` — whose combined
+    /// coefficient must be zero — removed from the variable list, in a single
+    /// allocation pass. This is the Fourier–Motzkin combination step.
+    pub(crate) fn combine_drop(
+        a: &LinExpr,
+        ka: i128,
+        b: &LinExpr,
+        kb: i128,
+        drop_idx: usize,
+    ) -> LinExpr {
+        debug_assert_eq!(a.num_vars(), b.num_vars(), "variable arity mismatch");
+        let n = a.var_coeffs.len();
+        let mut vc = Vec::with_capacity(n - 1);
+        for i in 0..n {
+            let c = ka * a.var_coeffs[i] + kb * b.var_coeffs[i];
+            if i == drop_idx {
+                debug_assert_eq!(c, 0, "combined coefficient of dropped variable");
+            } else {
+                vc.push(c);
+            }
+        }
+        LinExpr {
+            var_coeffs: vc,
+            param_coeffs: merge_params_scaled(&a.param_coeffs, ka, &b.param_coeffs, kb),
+            constant: ka * a.constant + kb * b.constant,
+        }
     }
 
     /// Multiplies by an integer scalar.
     pub fn scale(&self, k: i128) -> LinExpr {
+        if k == 0 {
+            return LinExpr::zero(self.num_vars());
+        }
         let mut out = self.clone();
         for c in out.var_coeffs.iter_mut() {
             *c *= k;
         }
-        for c in out.param_coeffs.values_mut() {
+        for (_, c) in out.param_coeffs.iter_mut() {
             *c *= k;
         }
         out.constant *= k;
-        out.cleanup();
         out
-    }
-
-    fn cleanup(&mut self) {
-        self.param_coeffs.retain(|_, c| *c != 0);
     }
 
     /// Embeds the expression into a wider variable list: variable `i` becomes
@@ -153,15 +281,19 @@ impl LinExpr {
         }
         let mut base = self.clone();
         base.var_coeffs[idx] = 0;
-        base.add(&repl.scale(c))
+        base.add_scaled(repl, c)
     }
 
     /// Renames a parameter (no-op if the parameter does not occur).
     pub fn rename_param(&self, from: &str, to: &str) -> LinExpr {
-        let mut out = self.clone();
-        if let Some(c) = out.param_coeffs.remove(from) {
-            *out.param_coeffs.entry(to.to_string()).or_insert(0) += c;
+        let c = self.param_coeff(from);
+        if c == 0 {
+            return self.clone();
         }
+        let mut out = self.clone();
+        out.clear_param(from);
+        let to_id = interner::intern(to);
+        out.set_param_coeff(to_id, out.param_coeff_id(to_id) + c);
         out
     }
 
@@ -173,8 +305,12 @@ impl LinExpr {
         for (i, &c) in self.var_coeffs.iter().enumerate() {
             acc += c * vars[i];
         }
-        for (p, &c) in &self.param_coeffs {
-            acc += c * params.get(p).copied().unwrap_or_else(|| panic!("missing parameter {p}"));
+        for &(id, c) in &self.param_coeffs {
+            let p = interner::resolve(id);
+            acc += c * params
+                .get(&*p as &str)
+                .copied()
+                .unwrap_or_else(|| panic!("missing parameter {p}"));
         }
         acc
     }
@@ -186,15 +322,12 @@ impl LinExpr {
             if c == 0 {
                 continue;
             }
-            let name = var_names
-                .get(i)
-                .cloned()
-                .unwrap_or_else(|| format!("x{i}"));
+            let name = var_names.get(i).cloned().unwrap_or_else(|| format!("x{i}"));
             parts.push(render_term(c, &name));
         }
-        for (p, &c) in &self.param_coeffs {
+        for (p, c) in self.param_terms_by_name() {
             if c != 0 {
-                parts.push(render_term(c, p));
+                parts.push(render_term(c, &p));
             }
         }
         if self.constant != 0 || parts.is_empty() {
@@ -230,7 +363,7 @@ pub enum ConstraintKind {
 }
 
 /// An affine constraint `expr = 0` or `expr ≥ 0`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Constraint {
     /// The affine expression.
     pub expr: LinExpr,

@@ -77,7 +77,11 @@ impl BasicMap {
 
     /// Builds a relation from explicit constraints over the concatenated
     /// `(in, out)` dimensions.
-    pub fn from_constraints(in_space: Space, out_space: Space, constraints: Vec<Constraint>) -> Self {
+    pub fn from_constraints(
+        in_space: Space,
+        out_space: Space,
+        constraints: Vec<Constraint>,
+    ) -> Self {
         let arity = in_space.dim() + out_space.dim();
         for c in &constraints {
             assert_eq!(c.expr.num_vars(), arity, "constraint arity mismatch");
@@ -96,11 +100,11 @@ impl BasicMap {
         let n = space.dim();
         let arity = 2 * n;
         let mut constraints = Vec::new();
-        for i in 0..n {
+        for (i, &d) in delta.iter().enumerate() {
             // out_i - in_i - delta_i = 0
             let e = LinExpr::var(arity, n + i)
                 .sub(&LinExpr::var(arity, i))
-                .sub(&LinExpr::constant(arity, delta[i]));
+                .sub(&LinExpr::constant(arity, d));
             constraints.push(Constraint::eq(e));
         }
         BasicMap {
@@ -169,8 +173,7 @@ impl BasicMap {
     pub fn contains(&self, input: &[i128], output: &[i128], params: &[(&str, i128)]) -> bool {
         assert_eq!(input.len(), self.n_in(), "input arity mismatch");
         assert_eq!(output.len(), self.n_out(), "output arity mismatch");
-        let env: BTreeMap<String, i128> =
-            params.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let env: BTreeMap<String, i128> = params.iter().map(|(k, v)| (k.to_string(), *v)).collect();
         let mut point = input.to_vec();
         point.extend_from_slice(output);
         self.constraints.iter().all(|c| c.holds(&point, &env))
@@ -201,10 +204,7 @@ impl BasicMap {
         let n_out = self.n_out();
         let arity = self.arity();
         // New order: old out dims first, then old in dims.
-        let mapping: Vec<usize> = (0..n_in)
-            .map(|i| n_out + i)
-            .chain((0..n_out).map(|i| i))
-            .collect();
+        let mapping: Vec<usize> = (0..n_in).map(|i| n_out + i).chain(0..n_out).collect();
         let constraints = self
             .constraints
             .iter()
@@ -238,7 +238,10 @@ impl BasicMap {
 
     /// Restricts the domain to a set.
     pub fn intersect_domain(&self, set: &BasicSet) -> BasicMap {
-        assert!(self.in_space.compatible(set.space()), "incompatible domain space");
+        assert!(
+            self.in_space.compatible(set.space()),
+            "incompatible domain space"
+        );
         let arity = self.arity();
         let mapping: Vec<usize> = (0..self.n_in()).collect();
         let mut constraints = self.constraints.clone();
@@ -257,7 +260,10 @@ impl BasicMap {
 
     /// Restricts the range to a set.
     pub fn intersect_range(&self, set: &BasicSet) -> BasicMap {
-        assert!(self.out_space.compatible(set.space()), "incompatible range space");
+        assert!(
+            self.out_space.compatible(set.space()),
+            "incompatible range space"
+        );
         let arity = self.arity();
         let mapping: Vec<usize> = (self.n_in()..arity).collect();
         let mut constraints = self.constraints.clone();
@@ -433,8 +439,8 @@ impl BasicMap {
                 *v = Rational::from_int(c.expr.var_coeff(j));
             }
             let mut rhs = vec![Rational::ZERO; num_rhs];
-            for k in 0..n_out {
-                rhs[k] = Rational::from_int(-c.expr.var_coeff(n_in + k));
+            for (k, r) in rhs.iter_mut().enumerate().take(n_out) {
+                *r = Rational::from_int(-c.expr.var_coeff(n_in + k));
             }
             for (pi, p) in params.iter().enumerate() {
                 rhs[n_out + pi] = Rational::from_int(-c.expr.param_coeff(p));
@@ -536,7 +542,9 @@ impl BasicMap {
         // Step count ≥ 1: δ_j·(out_j - in_j) ≥ δ_j².
         let diff_j = LinExpr::var(arity, n + j).sub(&LinExpr::var(arity, j));
         constraints.push(Constraint::ge0(
-            diff_j.scale(delta[j]).sub(&LinExpr::constant(arity, delta[j] * delta[j])),
+            diff_j
+                .scale(delta[j])
+                .sub(&LinExpr::constant(arity, delta[j] * delta[j])),
         ));
         let closure = BasicMap {
             in_space: self.in_space.clone(),
@@ -667,7 +675,9 @@ mod tests {
     fn broadcast_function_extraction() {
         let b = broadcast();
         // Inverse function: S[t, i] -> C[t]; linear part (1, 0), kernel (0, 1).
-        let f = b.as_function_of_range().expect("broadcast has a functional inverse");
+        let f = b
+            .as_function_of_range()
+            .expect("broadcast has a functional inverse");
         assert_eq!(f.linear.num_rows(), 1);
         assert_eq!(f.linear.num_cols(), 2);
         assert_eq!(f.rank(), 1);

@@ -157,8 +157,7 @@ impl BasicSet {
     /// Checks membership of a concrete point under concrete parameter values.
     pub fn contains(&self, point: &[i128], params: &[(&str, i128)]) -> bool {
         assert_eq!(point.len(), self.dim(), "point arity mismatch");
-        let env: BTreeMap<String, i128> =
-            params.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let env: BTreeMap<String, i128> = params.iter().map(|(k, v)| (k.to_string(), *v)).collect();
         self.constraints.iter().all(|c| c.holds(point, &env))
     }
 
@@ -197,9 +196,7 @@ impl BasicSet {
             match c.kind {
                 ConstraintKind::Inequality => {
                     // Violation: expr <= -1.
-                    let viol = Constraint::ge0(
-                        c.expr.scale(-1).add(&LinExpr::constant(n, -1)),
-                    );
+                    let viol = Constraint::ge0(c.expr.scale(-1).add(&LinExpr::constant(n, -1)));
                     let mut cs = self.constraints.clone();
                     cs.extend(prefix.iter().cloned());
                     cs.push(viol);
@@ -215,9 +212,8 @@ impl BasicSet {
                 ConstraintKind::Equality => {
                     // Violation: expr >= 1 or expr <= -1.
                     for sign in [1i128, -1] {
-                        let viol = Constraint::ge0(
-                            c.expr.scale(sign).add(&LinExpr::constant(n, -1)),
-                        );
+                        let viol =
+                            Constraint::ge0(c.expr.scale(sign).add(&LinExpr::constant(n, -1)));
                         let mut cs = self.constraints.clone();
                         cs.extend(prefix.iter().cloned());
                         cs.push(viol);
@@ -304,8 +300,7 @@ impl BasicSet {
     /// Intended for small instances (validation against the explicit CDAG);
     /// `bound` caps each dimension's search range as a safety net.
     pub fn enumerate(&self, params: &[(&str, i128)], bound: i128) -> Vec<Vec<i128>> {
-        let env: BTreeMap<String, i128> =
-            params.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let env: BTreeMap<String, i128> = params.iter().map(|(k, v)| (k.to_string(), *v)).collect();
         let mut out = Vec::new();
         let mut point = vec![0i128; self.dim()];
         self.enumerate_rec(0, &mut point, &env, bound, &mut out);
@@ -397,9 +392,8 @@ mod tests {
     #[test]
     fn intersection() {
         let t = triangle();
-        let diag = BasicSet::universe(Space::new("S", &["i", "j"])).constrain(Constraint::eq(
-            LinExpr::var(2, 0).sub(&LinExpr::var(2, 1)),
-        ));
+        let diag = BasicSet::universe(Space::new("S", &["i", "j"]))
+            .constrain(Constraint::eq(LinExpr::var(2, 0).sub(&LinExpr::var(2, 1))));
         let i = t.intersect(&diag);
         assert!(i.contains(&[3, 3], &[("N", 5)]));
         assert!(!i.contains(&[3, 2], &[("N", 5)]));
@@ -409,10 +403,8 @@ mod tests {
     fn subtraction_splits() {
         // Remove the diagonal band j >= i from the triangle: leaves j < i.
         let t = triangle();
-        let upper =
-            BasicSet::universe(Space::new("S", &["i", "j"])).constrain(Constraint::ge0(
-                LinExpr::var(2, 1).sub(&LinExpr::var(2, 0)),
-            ));
+        let upper = BasicSet::universe(Space::new("S", &["i", "j"]))
+            .constrain(Constraint::ge0(LinExpr::var(2, 1).sub(&LinExpr::var(2, 0))));
         let diff = t.subtract(&upper);
         assert!(!diff.is_empty());
         assert!(diff.contains(&[4, 2], &[("N", 5)]));

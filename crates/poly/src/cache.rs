@@ -1,0 +1,287 @@
+//! Memoization of the engine's repeated queries.
+//!
+//! The IOLB driver re-tests near-identical constraint systems across
+//! parametrization depths, statements and path-combination rounds: the same
+//! feasibility, entailment and cardinality questions are asked over and over
+//! (entailment-based bound pruning alone is quadratic in the number of
+//! candidate bounds). This module provides a process-wide cache for the three
+//! query kinds, consulted by [`crate::fm::is_feasible`],
+//! [`crate::fm::implies`] and [`crate::count::card_basic`].
+//!
+//! Queries are identified by the **exact** inputs (constraint lists in input
+//! order) — not a canonicalised form — so a cached answer is what re-running
+//! the query would produce and enabling the cache cannot change an analysis
+//! result. The map key is a 128-bit fingerprint of the inputs (see
+//! [`crate::fxhash`]) computed in one allocation-free walk;
+//! systems are never cloned into the cache. A colliding fingerprint could in
+//! principle return a wrong answer, but at ~10⁶ entries the probability is
+//! ~2⁻⁸⁸ — far below the chance of a hardware fault.
+//!
+//! The cache is sharded (16 ways) behind `RwLock`s so the parallel driver
+//! scales, and each shard is capacity-capped: once full, new results are
+//! simply not stored (the cache never evicts, which keeps lookups cheap and
+//! behaviour deterministic).
+
+use crate::affine::Constraint;
+use crate::fxhash::{Fingerprint, FingerprintMap};
+use crate::stats;
+use iolb_symbol::Poly;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// Domain separators so the three query kinds (and the parts within a query)
+/// can never alias each other's fingerprints.
+mod tag {
+    pub const FEASIBILITY: u64 = 1;
+    pub const ENTAILMENT: u64 = 2;
+    pub const COUNT: u64 = 3;
+    pub const PART: u64 = 0x5E77_A5A7;
+}
+
+const SHARDS: usize = 16;
+/// Per-shard entry cap (the whole cache holds at most `16 * 65536` entries).
+const SHARD_CAP: usize = 65_536;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables or disables the cache (enabled by default). Disabling
+/// does not clear previously stored entries; they are just not consulted.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Returns true if the cache is currently consulted.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+struct Sharded<V> {
+    shards: Vec<RwLock<FingerprintMap<V>>>,
+}
+
+impl<V: Clone> Sharded<V> {
+    fn new() -> Self {
+        Sharded {
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(FingerprintMap::default()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: u128) -> &RwLock<FingerprintMap<V>> {
+        // The map's pass-through hasher consumes the low 64 bits, so shard
+        // selection must draw on the (independent) high half.
+        &self.shards[((key >> 64) as usize) % SHARDS]
+    }
+
+    fn get(&self, key: u128) -> Option<V> {
+        self.shard(key).read().unwrap().get(&key).cloned()
+    }
+
+    fn insert(&self, key: u128, value: V) {
+        let mut shard = self.shard(key).write().unwrap();
+        if shard.len() < SHARD_CAP {
+            shard.insert(key, value);
+        }
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            s.write().unwrap().clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+}
+
+struct Caches {
+    feasibility: Sharded<bool>,
+    entailment: Sharded<bool>,
+    count: Sharded<Option<Poly>>,
+}
+
+fn caches() -> &'static Caches {
+    static CACHES: OnceLock<Caches> = OnceLock::new();
+    CACHES.get_or_init(|| Caches {
+        feasibility: Sharded::new(),
+        entailment: Sharded::new(),
+        count: Sharded::new(),
+    })
+}
+
+/// Empties all three caches (mainly for tests and long-running servers).
+pub fn clear() {
+    let c = caches();
+    c.feasibility.clear();
+    c.entailment.clear();
+    c.count.clear();
+}
+
+/// Number of entries currently stored across all three caches.
+pub fn len() -> usize {
+    let c = caches();
+    c.feasibility.len() + c.entailment.len() + c.count.len()
+}
+
+/// Memoizes a feasibility query. `compute` runs on a miss (or when the cache
+/// is disabled).
+pub fn feasibility(sys: &[Constraint], nvars: usize, compute: impl FnOnce() -> bool) -> bool {
+    if !is_enabled() {
+        return compute();
+    }
+    let mut fp = Fingerprint::new(tag::FEASIBILITY);
+    fp.add(&nvars);
+    fp.add(&sys);
+    let key = fp.finish();
+    if let Some(v) = caches().feasibility.get(key) {
+        stats::bump(&stats::FEASIBILITY_CACHE_HITS);
+        return v;
+    }
+    let v = compute();
+    caches().feasibility.insert(key, v);
+    v
+}
+
+/// Memoizes an entailment query.
+pub fn entailment(
+    sys: &[Constraint],
+    nvars: usize,
+    target: &Constraint,
+    compute: impl FnOnce() -> bool,
+) -> bool {
+    if !is_enabled() {
+        return compute();
+    }
+    let mut fp = Fingerprint::new(tag::ENTAILMENT);
+    fp.add(&nvars);
+    fp.add(&sys);
+    fp.add(&tag::PART);
+    fp.add(target);
+    let key = fp.finish();
+    if let Some(v) = caches().entailment.get(key) {
+        stats::bump(&stats::ENTAILMENT_CACHE_HITS);
+        return v;
+    }
+    let v = compute();
+    caches().entailment.insert(key, v);
+    v
+}
+
+/// Memoizes a symbolic cardinality query (including the "not exactly
+/// countable" `None` outcome, which is just as expensive to recompute).
+pub fn count(
+    sys: &[Constraint],
+    dim: usize,
+    ctx: &[Constraint],
+    compute: impl FnOnce() -> Option<Poly>,
+) -> Option<Poly> {
+    if !is_enabled() {
+        return compute();
+    }
+    let mut fp = Fingerprint::new(tag::COUNT);
+    fp.add(&dim);
+    fp.add(&sys);
+    fp.add(&tag::PART);
+    fp.add(&ctx);
+    let key = fp.finish();
+    if let Some(v) = caches().count.get(key) {
+        stats::bump(&stats::COUNT_CACHE_HITS);
+        return v;
+    }
+    let v = compute();
+    caches().count.insert(key, v.clone());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::LinExpr;
+    use std::sync::Mutex;
+
+    /// The cache is process-global state; these tests toggle and clear it,
+    /// so they must not interleave under the parallel test runner.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn c(k: i128) -> Constraint {
+        Constraint::ge0(LinExpr::constant(1, k))
+    }
+
+    #[test]
+    fn feasibility_memoizes() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        set_enabled(true);
+        let sys = vec![c(101), c(102)];
+        let mut calls = 0;
+        let a = feasibility(&sys, 1, || {
+            calls += 1;
+            true
+        });
+        let b = feasibility(&sys, 1, || {
+            calls += 1;
+            false // would poison the cache if actually called
+        });
+        assert!(a && b);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn disabled_cache_always_computes() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        set_enabled(false);
+        let sys = vec![c(103)];
+        let mut calls = 0;
+        for _ in 0..3 {
+            feasibility(&sys, 1, || {
+                calls += 1;
+                true
+            });
+        }
+        assert_eq!(calls, 3);
+        set_enabled(true);
+    }
+
+    #[test]
+    fn count_caches_none_too() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        set_enabled(true);
+        let sys = vec![c(107)];
+        let mut calls = 0;
+        let first = count(&sys, 1, &[], || {
+            calls += 1;
+            None
+        });
+        let second = count(&sys, 1, &[], || {
+            calls += 1;
+            Some(Poly::one())
+        });
+        assert!(first.is_none() && second.is_none());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn distinct_queries_do_not_alias() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        set_enabled(true);
+        // Same system, different arity.
+        let a = feasibility(&[c(108)], 1, || true);
+        let b = feasibility(&[c(108)], 2, || false);
+        assert!(a);
+        assert!(!b);
+        // A feasibility key never answers an entailment query.
+        let t = c(109);
+        let e = entailment(&[c(108)], 1, &t, || false);
+        assert!(!e);
+        // Shifting a constraint between `sys` and `target` changes the key.
+        let x = entailment(&[c(108), c(110)], 1, &t, || true);
+        let y = entailment(&[c(108)], 1, &c(110), || false);
+        assert!(x);
+        assert!(!y);
+    }
+}

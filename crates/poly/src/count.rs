@@ -48,7 +48,11 @@ impl Context {
     ///
     /// Panics if the constraint mentions positional variables.
     pub fn assume(mut self, c: Constraint) -> Self {
-        assert_eq!(c.expr.num_vars(), 0, "context constraints must be parameter-only");
+        assert_eq!(
+            c.expr.num_vars(),
+            0,
+            "context constraints must be parameter-only"
+        );
         self.constraints.push(c);
         self
     }
@@ -85,9 +89,9 @@ fn linexpr_to_poly(e: &LinExpr, ndims: usize) -> Poly {
             p = p + Poly::param(&dim_param(i)).scale(iolb_math::Rational::from_int(c));
         }
     }
-    for (name, &c) in &e.param_coeffs {
+    for (name, c) in e.param_terms_by_name() {
         if c != 0 {
-            p = p + Poly::param(name).scale(iolb_math::Rational::from_int(c));
+            p = p + Poly::param(&name).scale(iolb_math::Rational::from_int(c));
         }
     }
     p
@@ -96,16 +100,19 @@ fn linexpr_to_poly(e: &LinExpr, ndims: usize) -> Poly {
 /// Symbolic cardinality of a basic set. Returns `None` if the domain falls
 /// outside the exactly-countable class.
 pub fn card_basic(set: &BasicSet, ctx: &Context) -> Option<Poly> {
-    if set.is_empty() {
-        return Some(Poly::zero());
-    }
-    let d = set.dim();
-    let mut constraints = set.constraints().to_vec();
-    constraints.extend(ctx.remapped(d));
-    count_rec(constraints, d, Poly::one(), ctx)
+    crate::stats::bump(&crate::stats::COUNT_CALLS);
+    crate::cache::count(set.constraints(), set.dim(), ctx.constraints(), || {
+        if set.is_empty() {
+            return Some(Poly::zero());
+        }
+        let d = set.dim();
+        let mut constraints = set.constraints().to_vec();
+        constraints.extend(ctx.remapped(d));
+        count_rec(constraints, d, Poly::one())
+    })
 }
 
-fn count_rec(constraints: Vec<Constraint>, ndims: usize, weight: Poly, ctx: &Context) -> Option<Poly> {
+fn count_rec(constraints: Vec<Constraint>, ndims: usize, weight: Poly) -> Option<Poly> {
     if ndims == 0 {
         // All dimensions eliminated; remaining constraints only restrict
         // parameters. If they are infeasible the set was empty (handled by
@@ -132,7 +139,7 @@ fn count_rec(constraints: Vec<Constraint>, ndims: usize, weight: Poly, ctx: &Con
         let repl_poly = linexpr_to_poly(&rest, ndims);
         let new_weight = weight.substitute(&dim_param(idx), &repl_poly);
         let reduced = fm::eliminate_var(&constraints, idx);
-        return count_rec(reduced, ndims - 1, new_weight, ctx);
+        return count_rec(reduced, ndims - 1, new_weight);
     }
 
     // Case 2: inequality bounds. First drop bound constraints on the
@@ -173,21 +180,28 @@ fn count_rec(constraints: Vec<Constraint>, ndims: usize, weight: Poly, ctx: &Con
     let lower_poly = linexpr_to_poly(&lower, ndims);
     let upper_poly = linexpr_to_poly(&upper, ndims);
     // Σ_{x = lower}^{upper} weight(x).
-    let summed = if weight.degree_in(&dim_param(idx)).map_or(true, |e| e.is_zero()) {
+    let summed = if weight
+        .degree_in(&dim_param(idx))
+        .is_none_or(|e| e.is_zero())
+    {
         // Constant in x: weight · (upper - lower + 1).
         weight * (upper_poly - lower_poly + Poly::one())
     } else {
         sum_over(&weight, &dim_param(idx), &lower_poly, &upper_poly)
     };
     let reduced = fm::eliminate_var(&constraints, idx);
-    count_rec(reduced, ndims - 1, summed, ctx)
+    count_rec(reduced, ndims - 1, summed)
 }
 
 /// Removes inequality constraints bounding dimension `idx` that are implied
 /// by the remaining constraints. Constraints are removed one at a time (and
 /// the check repeated on the reduced system) so that one of two equivalent
 /// bounds always survives.
-fn drop_redundant_bounds(constraints: Vec<Constraint>, idx: usize, nvars: usize) -> Vec<Constraint> {
+fn drop_redundant_bounds(
+    constraints: Vec<Constraint>,
+    idx: usize,
+    nvars: usize,
+) -> Vec<Constraint> {
     let mut current = constraints;
     loop {
         let mut removed = false;

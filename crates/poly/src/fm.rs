@@ -17,42 +17,51 @@
 //! coefficients, for which Fourier–Motzkin is exact on the integers.
 
 use crate::affine::{Constraint, ConstraintKind, LinExpr};
+use crate::{cache, stats};
 use iolb_math::gcd;
 use std::collections::BTreeSet;
 
-/// Normalises a constraint: divides by the gcd of its coefficients (flooring
-/// the constant for inequalities, which is exact for integer points).
-fn normalize(c: &Constraint) -> Constraint {
+/// Normalises a constraint in place: divides by the gcd of its coefficients
+/// (flooring the constant for inequalities, which is exact for integer
+/// points).
+pub(crate) fn normalize_mut(c: &mut Constraint) {
     let mut g: i128 = 0;
     for &x in &c.expr.var_coeffs {
         g = gcd(g, x);
     }
-    for &x in c.expr.param_coeffs.values() {
+    for &(_, x) in &c.expr.param_coeffs {
         g = gcd(g, x);
     }
     if g <= 1 {
-        return c.clone();
+        return;
     }
-    let mut e = c.expr.clone();
-    for x in e.var_coeffs.iter_mut() {
-        *x /= g;
-    }
-    for x in e.param_coeffs.values_mut() {
-        *x /= g;
-    }
-    e.constant = match c.kind {
-        ConstraintKind::Inequality => e.constant.div_euclid(g),
+    let constant = match c.kind {
+        ConstraintKind::Inequality => c.expr.constant.div_euclid(g),
         ConstraintKind::Equality => {
-            if e.constant % g != 0 {
+            if c.expr.constant % g != 0 {
                 // Equality with non-divisible constant has no integer (or
-                // rational, after scaling) solutions; keep it unsimplified so
-                // feasibility detects the contradiction.
-                return c.clone();
+                // rational, after scaling) solutions; keep it unsimplified
+                // so feasibility detects the contradiction.
+                return;
             }
-            e.constant / g
+            c.expr.constant / g
         }
     };
-    Constraint { expr: e, kind: c.kind }
+    for x in c.expr.var_coeffs.iter_mut() {
+        *x /= g;
+    }
+    for (_, x) in c.expr.param_coeffs.iter_mut() {
+        *x /= g;
+    }
+    c.expr.constant = constant;
+}
+
+/// Normalised copy of a constraint (see [`normalize_mut`]).
+#[cfg(test)]
+pub(crate) fn normalize(c: &Constraint) -> Constraint {
+    let mut out = c.clone();
+    normalize_mut(&mut out);
+    out
 }
 
 /// Coefficient magnitude beyond which a constraint is dropped to prevent
@@ -62,23 +71,31 @@ fn normalize(c: &Constraint) -> Constraint {
 const COEFF_CAP: i128 = 1 << 60;
 
 /// Removes duplicate and trivially-true constraints, and drops constraints
-/// whose coefficients have grown past [`COEFF_CAP`].
-fn prune(constraints: Vec<Constraint>) -> Vec<Constraint> {
-    let mut seen: BTreeSet<String> = BTreeSet::new();
-    let mut out = Vec::new();
-    for c in constraints {
-        let c = normalize(&c);
+/// whose coefficients have grown past [`COEFF_CAP`]. Deduplication is
+/// structural (constraints are normalised in place first) via 128-bit
+/// fingerprints, so identical constraints produced by different projection
+/// rounds collapse instead of feeding the quadratic Fourier–Motzkin blowup.
+pub(crate) fn prune(constraints: Vec<Constraint>) -> Vec<Constraint> {
+    let mut seen = crate::fxhash::FingerprintSet::with_capacity_and_hasher(
+        constraints.len(),
+        Default::default(),
+    );
+    let mut out = Vec::with_capacity(constraints.len());
+    for mut c in constraints {
+        normalize_mut(&mut c);
         if c.is_trivially_true() {
             continue;
         }
         let too_large = c.expr.var_coeffs.iter().any(|x| x.abs() > COEFF_CAP)
-            || c.expr.param_coeffs.values().any(|x| x.abs() > COEFF_CAP)
+            || c.expr
+                .param_coeffs
+                .iter()
+                .any(|&(_, x)| x.abs() > COEFF_CAP)
             || c.expr.constant.abs() > COEFF_CAP;
         if too_large && c.kind == ConstraintKind::Inequality {
             continue;
         }
-        let key = format!("{:?}:{:?}:{:?}:{:?}", c.kind, c.expr.var_coeffs, c.expr.param_coeffs, c.expr.constant);
-        if seen.insert(key) {
+        if seen.insert(crate::fxhash::fingerprint(&c)) {
             out.push(c);
         }
     }
@@ -89,34 +106,36 @@ fn prune(constraints: Vec<Constraint>) -> Vec<Constraint> {
 /// variables, returning a system over `nvars - 1` variables (the variable's
 /// column is removed).
 pub fn eliminate_var(constraints: &[Constraint], idx: usize) -> Vec<Constraint> {
+    eliminate_var_owned(constraints.to_vec(), idx)
+}
+
+/// Owned variant of [`eliminate_var`]: consumes the system and reuses its
+/// allocations for every constraint the variable does not occur in.
+pub fn eliminate_var_owned(constraints: Vec<Constraint>, idx: usize) -> Vec<Constraint> {
+    stats::bump(&stats::FM_ELIMINATIONS);
     // First try to use an equality to substitute the variable away.
-    let eq_pos = constraints.iter().position(|c| {
-        c.kind == ConstraintKind::Equality && c.expr.var_coeffs[idx] != 0
-    });
+    let eq_pos = constraints
+        .iter()
+        .position(|c| c.kind == ConstraintKind::Equality && c.expr.var_coeffs[idx] != 0);
     if let Some(ep) = eq_pos {
-        let eq = &constraints[ep];
+        let eq = constraints[ep].clone();
         let c_coeff = eq.expr.var_coeffs[idx];
-        let mut out = Vec::new();
-        for (i, c) in constraints.iter().enumerate() {
+        let mut out = Vec::with_capacity(constraints.len() - 1);
+        for (i, mut c) in constraints.into_iter().enumerate() {
             if i == ep {
                 continue;
             }
             let a = c.expr.var_coeffs[idx];
             if a == 0 {
-                out.push(Constraint {
-                    expr: c.expr.drop_var(idx),
-                    kind: c.kind,
-                });
+                c.expr.var_coeffs.remove(idx);
+                out.push(c);
                 continue;
             }
             // Scale the constraint by |c_coeff| (positive, preserves
             // inequality direction) and cancel with the equality.
-            let scaled = c.expr.scale(c_coeff.abs());
             let k = -a * c_coeff.signum();
-            let combined = scaled.add(&eq.expr.scale(k));
-            debug_assert_eq!(combined.var_coeffs[idx], 0);
             out.push(Constraint {
-                expr: combined.drop_var(idx),
+                expr: LinExpr::combine_drop(&c.expr, c_coeff.abs(), &eq.expr, k, idx),
                 kind: c.kind,
             });
         }
@@ -126,40 +145,29 @@ pub fn eliminate_var(constraints: &[Constraint], idx: usize) -> Vec<Constraint> 
     // Pure Fourier–Motzkin on inequalities.
     let mut lowers = Vec::new(); // coefficient > 0
     let mut uppers = Vec::new(); // coefficient < 0
-    let mut rest = Vec::new();
-    for c in constraints {
+    let mut out = Vec::new();
+    for mut c in constraints {
         let a = c.expr.var_coeffs[idx];
-        match c.kind {
-            ConstraintKind::Equality => {
-                debug_assert_eq!(a, 0, "equalities with the variable handled above");
-                rest.push(Constraint {
-                    expr: c.expr.drop_var(idx),
-                    kind: c.kind,
-                });
-            }
-            ConstraintKind::Inequality => {
-                if a > 0 {
-                    lowers.push(c.clone());
-                } else if a < 0 {
-                    uppers.push(c.clone());
-                } else {
-                    rest.push(Constraint {
-                        expr: c.expr.drop_var(idx),
-                        kind: c.kind,
-                    });
-                }
-            }
+        debug_assert!(
+            c.kind == ConstraintKind::Inequality || a == 0,
+            "equalities with the variable handled above"
+        );
+        if c.kind == ConstraintKind::Inequality && a > 0 {
+            lowers.push(c);
+        } else if c.kind == ConstraintKind::Inequality && a < 0 {
+            uppers.push(c);
+        } else {
+            c.expr.var_coeffs.remove(idx);
+            out.push(c);
         }
     }
-    let mut out = rest;
+    out.reserve(lowers.len() * uppers.len());
     for lo in &lowers {
         let a = lo.expr.var_coeffs[idx];
         for up in &uppers {
             let b = up.expr.var_coeffs[idx]; // negative
-            let combined = lo.expr.scale(-b).add(&up.expr.scale(a));
-            debug_assert_eq!(combined.var_coeffs[idx], 0);
             out.push(Constraint {
-                expr: combined.drop_var(idx),
+                expr: LinExpr::combine_drop(&lo.expr, -b, &up.expr, a, idx),
                 kind: ConstraintKind::Inequality,
             });
         }
@@ -174,39 +182,56 @@ pub fn eliminate_vars(constraints: &[Constraint], mut idxs: Vec<usize>) -> Vec<C
     idxs.dedup();
     let mut cur = constraints.to_vec();
     for &idx in idxs.iter().rev() {
-        cur = eliminate_var(&cur, idx);
+        cur = eliminate_var_owned(cur, idx);
     }
     cur
 }
 
-/// Collects every parameter name appearing in the constraints.
+/// Collects every parameter name appearing in the constraints, sorted by
+/// name.
 pub fn collect_params(constraints: &[Constraint]) -> Vec<String> {
     let mut out: BTreeSet<String> = BTreeSet::new();
     for c in constraints {
-        for p in c.expr.param_coeffs.keys() {
-            out.insert(p.clone());
+        for &(id, _) in &c.expr.param_coeffs {
+            out.insert(id.name().to_string());
         }
     }
     out.into_iter().collect()
 }
 
 /// Converts parameters into extra trailing positional variables so that
-/// feasibility can be decided purely over positional variables.
-fn parametrize(constraints: &[Constraint], nvars: usize) -> (Vec<Constraint>, usize) {
-    let params = collect_params(constraints);
-    let total = nvars + params.len();
-    let out = constraints
+/// feasibility can be decided purely over positional variables. Accepts the
+/// system as a list of parts so callers can append hypotheses (e.g. a negated
+/// entailment target) without materialising a combined vector.
+fn parametrize_parts(parts: &[&[Constraint]], nvars: usize) -> (Vec<Constraint>, usize) {
+    let mut ids: Vec<crate::interner::ParamId> = Vec::new();
+    for part in parts {
+        for c in *part {
+            for &(id, _) in &c.expr.param_coeffs {
+                if !ids.contains(&id) {
+                    ids.push(id);
+                }
+            }
+        }
+    }
+    crate::interner::sort_ids_by_name(&mut ids);
+    let total = nvars + ids.len();
+    let out = parts
         .iter()
+        .flat_map(|part| part.iter())
         .map(|c| {
             let mut e = LinExpr::zero(total);
             for (i, &v) in c.expr.var_coeffs.iter().enumerate() {
                 e.var_coeffs[i] = v;
             }
-            for (j, p) in params.iter().enumerate() {
-                e.var_coeffs[nvars + j] = c.expr.param_coeff(p);
+            for (j, &p) in ids.iter().enumerate() {
+                e.var_coeffs[nvars + j] = c.expr.param_coeff_id(p);
             }
             e.constant = c.expr.constant;
-            Constraint { expr: e, kind: c.kind }
+            Constraint {
+                expr: e,
+                kind: c.kind,
+            }
         })
         .collect();
     (out, total)
@@ -218,13 +243,23 @@ fn parametrize(constraints: &[Constraint], nvars: usize) -> (Vec<Constraint>, us
 /// Returns `false` only when the system has no rational solution for any
 /// parameter values (and hence certainly no integer solution).
 pub fn is_feasible(constraints: &[Constraint], nvars: usize) -> bool {
-    let (mut cur, total) = parametrize(constraints, nvars);
+    stats::bump(&stats::FEASIBILITY_CHECKS);
+    cache::feasibility(constraints, nvars, || feasible_raw(&[constraints], nvars))
+}
+
+/// The uncached feasibility kernel over a system given in parts.
+fn feasible_raw(parts: &[&[Constraint]], nvars: usize) -> bool {
+    let (mut cur, total) = parametrize_parts(parts, nvars);
     cur = prune(cur);
     if cur.iter().any(|c| c.is_trivially_false()) {
         return false;
     }
     for idx in (0..total).rev() {
-        cur = eliminate_var(&cur, idx);
+        if cur.is_empty() {
+            // No constraints left: every remaining variable is free.
+            return true;
+        }
+        cur = eliminate_var_owned(cur, idx);
         if cur.iter().any(|c| c.is_trivially_false()) {
             return false;
         }
@@ -237,20 +272,26 @@ pub fn is_feasible(constraints: &[Constraint], nvars: usize) -> bool {
 ///
 /// Sound but not complete: a `true` answer is always correct.
 pub fn implies(constraints: &[Constraint], nvars: usize, target: &Constraint) -> bool {
-    match target.kind {
+    stats::bump(&stats::ENTAILMENT_CHECKS);
+    cache::entailment(constraints, nvars, target, || match target.kind {
         ConstraintKind::Inequality => {
             // constraints ∧ (target < 0) infeasible, i.e. target <= -1.
-            let neg = Constraint::ge0(target.expr.scale(-1).add(&LinExpr::constant(nvars, -1)));
-            let mut sys = constraints.to_vec();
-            sys.push(neg);
-            !is_feasible(&sys, nvars)
+            // Calls the raw kernel: the entailment cache above already keys
+            // this exact query, so a second (feasibility-keyed) lookup of the
+            // augmented system would only add fingerprint overhead.
+            let mut neg = target.expr.scale(-1);
+            neg.constant -= 1;
+            !feasible_raw(
+                &[constraints, std::slice::from_ref(&Constraint::ge0(neg))],
+                nvars,
+            )
         }
         ConstraintKind::Equality => {
             let ge = Constraint::ge0(target.expr.clone());
             let le = Constraint::ge0(target.expr.scale(-1));
             implies(constraints, nvars, &ge) && implies(constraints, nvars, &le)
         }
-    }
+    })
 }
 
 #[cfg(test)]

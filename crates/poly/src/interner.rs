@@ -1,0 +1,130 @@
+//! Global string interner for program-parameter names.
+//!
+//! Every parameter name (`N`, `M`, `S`, `Omega0`, …) occurring in a
+//! [`crate::LinExpr`] is interned once into a process-wide [`ParamTable`] and
+//! referred to by a compact [`ParamId`] afterwards. This removes per-name heap
+//! allocation and string comparison from the innermost loops of
+//! Fourier–Motzkin elimination, entailment pruning and symbolic counting: a
+//! parameter-coefficient list is a small sorted `Vec<(ParamId, i128)>` whose
+//! merge is a branchy but allocation-light two-pointer walk over `u32` keys.
+//!
+//! Affine programs mention a handful of parameters, so the table stays tiny;
+//! it is never garbage-collected. Interning order (and hence `ParamId`
+//! ordering) depends on first-use order and may differ between runs — any
+//! code that renders names to users must therefore sort by *name*, not by id
+//! (see [`sort_ids_by_name`]).
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A compact handle to an interned parameter name.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ParamId(u32);
+
+impl ParamId {
+    /// The raw index into the global [`ParamTable`].
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The interned name this id refers to.
+    pub fn name(self) -> Arc<str> {
+        resolve(self)
+    }
+}
+
+impl std::fmt::Debug for ParamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ParamId({} = {:?})", self.0, &*resolve(*self))
+    }
+}
+
+/// The global parameter table: bidirectional `name ↔ ParamId` mapping.
+#[derive(Default)]
+pub struct ParamTable {
+    names: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, u32>,
+}
+
+fn table() -> &'static RwLock<ParamTable> {
+    static TABLE: OnceLock<RwLock<ParamTable>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(ParamTable::default()))
+}
+
+/// Interns a name, returning its stable id (idempotent).
+pub fn intern(name: &str) -> ParamId {
+    if let Some(id) = lookup(name) {
+        return id;
+    }
+    let mut t = table().write().unwrap();
+    if let Some(&i) = t.index.get(name) {
+        return ParamId(i);
+    }
+    let i = u32::try_from(t.names.len()).expect("parameter table overflow");
+    let arc: Arc<str> = Arc::from(name);
+    t.names.push(arc.clone());
+    t.index.insert(arc, i);
+    ParamId(i)
+}
+
+/// Looks a name up without interning it (read-lock only).
+pub fn lookup(name: &str) -> Option<ParamId> {
+    let t = table().read().unwrap();
+    t.index.get(name).map(|&i| ParamId(i))
+}
+
+/// Resolves an id back to its name.
+///
+/// # Panics
+///
+/// Panics if the id was not produced by [`intern`] in this process.
+pub fn resolve(id: ParamId) -> Arc<str> {
+    let t = table().read().unwrap();
+    t.names
+        .get(id.0 as usize)
+        .cloned()
+        .expect("ParamId from a different process or table")
+}
+
+/// Sorts a list of ids by their *names* (the deterministic, user-visible
+/// order; id order depends on first-use order and is not stable across runs).
+pub fn sort_ids_by_name(ids: &mut [ParamId]) {
+    let t = table().read().unwrap();
+    ids.sort_by(|a, b| t.names[a.0 as usize].cmp(&t.names[b.0 as usize]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = intern("__test_param_A");
+        let b = intern("__test_param_A");
+        assert_eq!(a, b);
+        assert_eq!(&*resolve(a), "__test_param_A");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert!(lookup("__test_param_never_interned").is_none());
+        let id = intern("__test_param_B");
+        assert_eq!(lookup("__test_param_B"), Some(id));
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let a = intern("__test_param_C");
+        let b = intern("__test_param_D");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sorting_by_name_is_lexicographic() {
+        let z = intern("__test_param_zz");
+        let a = intern("__test_param_aa");
+        let mut ids = vec![z, a];
+        sort_ids_by_name(&mut ids);
+        assert_eq!(ids, vec![a, z]);
+    }
+}

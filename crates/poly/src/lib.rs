@@ -39,12 +39,16 @@
 pub mod affine;
 pub mod basic_map;
 pub mod basic_set;
+pub mod cache;
 pub mod count;
 pub mod fm;
+pub mod fxhash;
+pub mod interner;
 pub mod map;
 pub mod parser;
 pub mod set;
 pub mod space;
+pub mod stats;
 
 pub use affine::{Constraint, ConstraintKind, LinExpr};
 pub use basic_map::{AffineFunction, BasicMap};

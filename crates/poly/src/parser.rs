@@ -39,6 +39,9 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// One raw (unparsed) tuple element: its tokens with byte offsets.
+type TupleElem = Vec<(Token, usize)>;
+
 #[derive(Debug, Clone, PartialEq)]
 enum Token {
     Ident(String),
@@ -59,7 +62,9 @@ fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, ParseError> {
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
             while i < bytes.len()
-                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                && ((bytes[i] as char).is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'\'')
             {
                 i += 1;
             }
@@ -79,7 +84,11 @@ fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, ParseError> {
             continue;
         }
         // Multi-character symbols.
-        let two = if i + 1 < bytes.len() { &input[i..i + 2] } else { "" };
+        let two = if i + 1 < bytes.len() {
+            &input[i..i + 2]
+        } else {
+            ""
+        };
         let sym = match two {
             "->" | "<=" | ">=" | "==" | "&&" => {
                 i += 2;
@@ -185,10 +194,10 @@ impl Parser {
     /// Parses a tuple `Name[e0, e1, …]`, returning the name and element
     /// expressions as raw strings re-parsed later (we need to know the
     /// variable environment first).
-    fn parse_tuple_raw(&mut self) -> Result<(String, Vec<Vec<(Token, usize)>>), ParseError> {
+    fn parse_tuple_raw(&mut self) -> Result<(String, Vec<TupleElem>), ParseError> {
         let name = self.expect_ident()?;
         self.expect_symbol("[")?;
-        let mut elems: Vec<Vec<(Token, usize)>> = Vec::new();
+        let mut elems: Vec<TupleElem> = Vec::new();
         if self.eat_symbol("]") {
             return Ok((name, elems));
         }
@@ -279,7 +288,11 @@ impl Parser {
     }
 
     /// Parses the condition part: a conjunction of chained comparisons.
-    fn parse_condition(&mut self, vars: &[String], nvars: usize) -> Result<Vec<Constraint>, ParseError> {
+    fn parse_condition(
+        &mut self,
+        vars: &[String],
+        nvars: usize,
+    ) -> Result<Vec<Constraint>, ParseError> {
         let mut out = Vec::new();
         loop {
             out.extend(self.parse_chain(vars, nvars)?);
@@ -297,12 +310,18 @@ impl Parser {
         Ok(out)
     }
 
-    fn parse_chain(&mut self, vars: &[String], nvars: usize) -> Result<Vec<Constraint>, ParseError> {
+    fn parse_chain(
+        &mut self,
+        vars: &[String],
+        nvars: usize,
+    ) -> Result<Vec<Constraint>, ParseError> {
         let mut exprs = vec![self.parse_expr(vars, nvars)?];
         let mut ops = Vec::new();
         loop {
             let op = match self.peek() {
-                Some(Token::Symbol(s)) if ["<=", "<", ">=", ">", "=", "=="].contains(&s.as_str()) => {
+                Some(Token::Symbol(s))
+                    if ["<=", "<", ">=", ">", "=", "=="].contains(&s.as_str()) =>
+                {
                     s.clone()
                 }
                 _ => break,
@@ -418,12 +437,10 @@ pub fn parse_map(input: &str) -> Result<BasicMap, ParseError> {
     // input dimension nor a declared parameter becomes a fresh dimension;
     // everything else is an expression pinned by an equality constraint.
     let mut out_dims: Vec<String> = Vec::new();
-    let mut out_exprs: Vec<Option<Vec<(Token, usize)>>> = Vec::new();
+    let mut out_exprs: Vec<Option<TupleElem>> = Vec::new();
     for (k, e) in out_elems.iter().enumerate() {
         match e.as_slice() {
-            [(Token::Ident(d), _)]
-                if !in_dims.contains(d) && !p.params.contains(d) =>
-            {
+            [(Token::Ident(d), _)] if !in_dims.contains(d) && !p.params.contains(d) => {
                 out_dims.push(d.clone());
                 out_exprs.push(None);
             }
@@ -489,9 +506,8 @@ mod tests {
 
     #[test]
     fn parse_translation_map() {
-        let m =
-            parse_map("[M, N] -> { S[t, i] -> S[t + 1, i] : 0 <= t < M - 1 and 0 <= i < N }")
-                .unwrap();
+        let m = parse_map("[M, N] -> { S[t, i] -> S[t + 1, i] : 0 <= t < M - 1 and 0 <= i < N }")
+            .unwrap();
         assert_eq!(m.translation_offsets(), Some(vec![1, 0]));
         assert!(m.contains(&[2, 3], &[3, 3], &[("M", 5), ("N", 5)]));
     }

@@ -139,7 +139,11 @@ impl Set {
     pub fn rename_param(&self, from: &str, to: &str) -> Set {
         Set {
             space: self.space.clone(),
-            parts: self.parts.iter().map(|p| p.rename_param(from, to)).collect(),
+            parts: self
+                .parts
+                .iter()
+                .map(|p| p.rename_param(from, to))
+                .collect(),
         }
     }
 
@@ -171,7 +175,11 @@ impl Set {
     /// The maximum intrinsic dimension over the disjuncts (0 for the empty
     /// set).
     pub fn intrinsic_dim(&self) -> usize {
-        self.parts.iter().map(|p| p.intrinsic_dim()).max().unwrap_or(0)
+        self.parts
+            .iter()
+            .map(|p| p.intrinsic_dim())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Enumerates integer points for concrete parameters (for validation on

@@ -1,0 +1,79 @@
+//! Engine-operation counters.
+//!
+//! Cheap global `AtomicU64` tallies of the polyhedral engine's hot
+//! operations (feasibility checks, entailment checks, variable eliminations,
+//! symbolic counts) and of the [`crate::cache`] hit rates. The `perf_report`
+//! binary snapshots these alongside wall-clock times so that perf regressions
+//! show up as *operation-count* regressions too, which are stable across
+//! machines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        $( $(#[$doc])* pub static $name: AtomicU64 = AtomicU64::new(0); )+
+
+        /// A point-in-time snapshot of every engine counter.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        #[allow(non_snake_case)]
+        pub struct Snapshot {
+            $( $(#[$doc])* pub $name: u64, )+
+        }
+
+        /// Reads every counter (relaxed; values are advisory).
+        pub fn snapshot() -> Snapshot {
+            Snapshot { $( $name: $name.load(Ordering::Relaxed), )+ }
+        }
+
+        /// Resets every counter to zero.
+        pub fn reset() {
+            $( $name.store(0, Ordering::Relaxed); )+
+        }
+
+        impl Snapshot {
+            /// The counters as `(name, value)` pairs, in declaration order.
+            pub fn as_pairs(&self) -> Vec<(&'static str, u64)> {
+                vec![ $( (stringify!($name), self.$name), )+ ]
+            }
+        }
+    };
+}
+
+counters! {
+    /// Rational feasibility checks performed (`fm::is_feasible` calls).
+    FEASIBILITY_CHECKS,
+    /// Feasibility checks answered from the cache.
+    FEASIBILITY_CACHE_HITS,
+    /// Entailment checks performed (`fm::implies` calls).
+    ENTAILMENT_CHECKS,
+    /// Entailment checks answered from the cache.
+    ENTAILMENT_CACHE_HITS,
+    /// Single-variable Fourier–Motzkin eliminations performed.
+    FM_ELIMINATIONS,
+    /// Symbolic cardinality computations (`count::card_basic` calls).
+    COUNT_CALLS,
+    /// Cardinality computations answered from the cache.
+    COUNT_CACHE_HITS,
+}
+
+/// Bumps a counter by one (relaxed ordering; used from the engine hot paths).
+#[inline]
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        reset();
+        bump(&FM_ELIMINATIONS);
+        bump(&FM_ELIMINATIONS);
+        assert!(snapshot().FM_ELIMINATIONS >= 2);
+        let pairs = snapshot().as_pairs();
+        assert_eq!(pairs.len(), 7);
+        assert!(pairs.iter().any(|(k, _)| *k == "FM_ELIMINATIONS"));
+    }
+}

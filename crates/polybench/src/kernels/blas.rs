@@ -143,7 +143,13 @@ pub fn three_mm() -> Kernel {
         oi_manual: |s, _| s.sqrt(),
         paper_oi_up_desc: "sqrt(S)",
         paper_oi_up: |s, _| s.sqrt(),
-        large: &[("Ni", 800), ("Nj", 900), ("Nk", 1000), ("Nl", 1100), ("Nm", 1200)],
+        large: &[
+            ("Ni", 800),
+            ("Nj", 900),
+            ("Nk", 1000),
+            ("Nl", 1100),
+            ("Nm", 1200),
+        ],
         parametrization_depth: 0,
     }
 }
@@ -351,13 +357,41 @@ pub fn bicg() -> Kernel {
         .input("pvec", "[N] -> { pvec[j] : 0 <= j < N }")
         .input("rvec", "[M] -> { rvec[i] : 0 <= i < M }")
         .statement_with_ops("Q", "[M, N] -> { Q[i, j] : 0 <= i < M and 0 <= j < N }", 2)
-        .statement_with_ops("Sv", "[M, N] -> { Sv[i, j] : 0 <= i < M and 0 <= j < N }", 2)
-        .edge("A", "Q", "[M, N] -> { A[i, j] -> Q[i2, j2] : i2 = i and j2 = j and 0 <= i < M and 0 <= j < N }")
-        .edge("pvec", "Q", "[M, N] -> { pvec[j] -> Q[i, j2] : j2 = j and 0 <= i < M and 0 <= j < N }")
-        .edge("Q", "Q", "[M, N] -> { Q[i, j] -> Q[i2, j + 1] : i2 = i and 0 <= i < M and 0 <= j < N - 1 }")
-        .edge("A", "Sv", "[M, N] -> { A[i, j] -> Sv[i2, j2] : i2 = i and j2 = j and 0 <= i < M and 0 <= j < N }")
-        .edge("rvec", "Sv", "[M, N] -> { rvec[i] -> Sv[i2, j] : i2 = i and 0 <= i < M and 0 <= j < N }")
-        .edge("Sv", "Sv", "[M, N] -> { Sv[i, j] -> Sv[i + 1, j2] : j2 = j and 0 <= i < M - 1 and 0 <= j < N }")
+        .statement_with_ops(
+            "Sv",
+            "[M, N] -> { Sv[i, j] : 0 <= i < M and 0 <= j < N }",
+            2,
+        )
+        .edge(
+            "A",
+            "Q",
+            "[M, N] -> { A[i, j] -> Q[i2, j2] : i2 = i and j2 = j and 0 <= i < M and 0 <= j < N }",
+        )
+        .edge(
+            "pvec",
+            "Q",
+            "[M, N] -> { pvec[j] -> Q[i, j2] : j2 = j and 0 <= i < M and 0 <= j < N }",
+        )
+        .edge(
+            "Q",
+            "Q",
+            "[M, N] -> { Q[i, j] -> Q[i2, j + 1] : i2 = i and 0 <= i < M and 0 <= j < N - 1 }",
+        )
+        .edge(
+            "A",
+            "Sv",
+            "[M, N] -> { A[i, j] -> Sv[i2, j2] : i2 = i and j2 = j and 0 <= i < M and 0 <= j < N }",
+        )
+        .edge(
+            "rvec",
+            "Sv",
+            "[M, N] -> { rvec[i] -> Sv[i2, j] : i2 = i and 0 <= i < M and 0 <= j < N }",
+        )
+        .edge(
+            "Sv",
+            "Sv",
+            "[M, N] -> { Sv[i, j] -> Sv[i + 1, j2] : j2 = j and 0 <= i < M - 1 and 0 <= j < N }",
+        )
         .build()
         .unwrap();
     Kernel {
@@ -384,12 +418,36 @@ pub fn mvt() -> Kernel {
         .input("y2", "[N] -> { y2[i] : 0 <= i < N }")
         .statement_with_ops("X1", "[N] -> { X1[i, j] : 0 <= i < N and 0 <= j < N }", 2)
         .statement_with_ops("X2", "[N] -> { X2[i, j] : 0 <= i < N and 0 <= j < N }", 2)
-        .edge("A", "X1", "[N] -> { A[i, j] -> X1[i2, j2] : i2 = i and j2 = j and 0 <= i < N and 0 <= j < N }")
-        .edge("y1", "X1", "[N] -> { y1[j] -> X1[i, j2] : j2 = j and 0 <= i < N and 0 <= j < N }")
-        .edge("X1", "X1", "[N] -> { X1[i, j] -> X1[i2, j + 1] : i2 = i and 0 <= i < N and 0 <= j < N - 1 }")
-        .edge("A", "X2", "[N] -> { A[j, i] -> X2[i2, j2] : i2 = i and j2 = j and 0 <= i < N and 0 <= j < N }")
-        .edge("y2", "X2", "[N] -> { y2[j] -> X2[i, j2] : j2 = j and 0 <= i < N and 0 <= j < N }")
-        .edge("X2", "X2", "[N] -> { X2[i, j] -> X2[i2, j + 1] : i2 = i and 0 <= i < N and 0 <= j < N - 1 }")
+        .edge(
+            "A",
+            "X1",
+            "[N] -> { A[i, j] -> X1[i2, j2] : i2 = i and j2 = j and 0 <= i < N and 0 <= j < N }",
+        )
+        .edge(
+            "y1",
+            "X1",
+            "[N] -> { y1[j] -> X1[i, j2] : j2 = j and 0 <= i < N and 0 <= j < N }",
+        )
+        .edge(
+            "X1",
+            "X1",
+            "[N] -> { X1[i, j] -> X1[i2, j + 1] : i2 = i and 0 <= i < N and 0 <= j < N - 1 }",
+        )
+        .edge(
+            "A",
+            "X2",
+            "[N] -> { A[j, i] -> X2[i2, j2] : i2 = i and j2 = j and 0 <= i < N and 0 <= j < N }",
+        )
+        .edge(
+            "y2",
+            "X2",
+            "[N] -> { y2[j] -> X2[i, j2] : j2 = j and 0 <= i < N and 0 <= j < N }",
+        )
+        .edge(
+            "X2",
+            "X2",
+            "[N] -> { X2[i, j] -> X2[i2, j + 1] : i2 = i and 0 <= i < N and 0 <= j < N - 1 }",
+        )
         .build()
         .unwrap();
     Kernel {
@@ -417,14 +475,46 @@ pub fn gemver() -> Kernel {
         .statement_with_ops("Ah", "[N] -> { Ah[i, j] : 0 <= i < N and 0 <= j < N }", 4)
         .statement_with_ops("X", "[N] -> { X[i, j] : 0 <= i < N and 0 <= j < N }", 3)
         .statement_with_ops("W", "[N] -> { W[i, j] : 0 <= i < N and 0 <= j < N }", 3)
-        .edge("A", "Ah", "[N] -> { A[i, j] -> Ah[i2, j2] : i2 = i and j2 = j and 0 <= i < N and 0 <= j < N }")
-        .edge("u1", "Ah", "[N] -> { u1[i] -> Ah[i2, j] : i2 = i and 0 <= i < N and 0 <= j < N }")
-        .edge("v1", "Ah", "[N] -> { v1[j] -> Ah[i, j2] : j2 = j and 0 <= i < N and 0 <= j < N }")
-        .edge("Ah", "X", "[N] -> { Ah[j, i] -> X[i2, j2] : i2 = i and j2 = j and 0 <= i < N and 0 <= j < N }")
-        .edge("X", "X", "[N] -> { X[i, j] -> X[i2, j + 1] : i2 = i and 0 <= i < N and 0 <= j < N - 1 }")
-        .edge("Ah", "W", "[N] -> { Ah[i, j] -> W[i2, j2] : i2 = i and j2 = j and 0 <= i < N and 0 <= j < N }")
-        .edge("X", "W", "[N] -> { X[j, k] -> W[i, j2] : j2 = j and k = N - 1 and 0 <= i < N and 0 <= j < N }")
-        .edge("W", "W", "[N] -> { W[i, j] -> W[i2, j + 1] : i2 = i and 0 <= i < N and 0 <= j < N - 1 }")
+        .edge(
+            "A",
+            "Ah",
+            "[N] -> { A[i, j] -> Ah[i2, j2] : i2 = i and j2 = j and 0 <= i < N and 0 <= j < N }",
+        )
+        .edge(
+            "u1",
+            "Ah",
+            "[N] -> { u1[i] -> Ah[i2, j] : i2 = i and 0 <= i < N and 0 <= j < N }",
+        )
+        .edge(
+            "v1",
+            "Ah",
+            "[N] -> { v1[j] -> Ah[i, j2] : j2 = j and 0 <= i < N and 0 <= j < N }",
+        )
+        .edge(
+            "Ah",
+            "X",
+            "[N] -> { Ah[j, i] -> X[i2, j2] : i2 = i and j2 = j and 0 <= i < N and 0 <= j < N }",
+        )
+        .edge(
+            "X",
+            "X",
+            "[N] -> { X[i, j] -> X[i2, j + 1] : i2 = i and 0 <= i < N and 0 <= j < N - 1 }",
+        )
+        .edge(
+            "Ah",
+            "W",
+            "[N] -> { Ah[i, j] -> W[i2, j2] : i2 = i and j2 = j and 0 <= i < N and 0 <= j < N }",
+        )
+        .edge(
+            "X",
+            "W",
+            "[N] -> { X[j, k] -> W[i, j2] : j2 = j and k = N - 1 and 0 <= i < N and 0 <= j < N }",
+        )
+        .edge(
+            "W",
+            "W",
+            "[N] -> { W[i, j] -> W[i2, j + 1] : i2 = i and 0 <= i < N and 0 <= j < N - 1 }",
+        )
         .build()
         .unwrap();
     Kernel {
@@ -450,10 +540,26 @@ pub fn gesummv() -> Kernel {
         .input("B", "[N] -> { B[i, j] : 0 <= i < N and 0 <= j < N }")
         .input("x", "[N] -> { x[j] : 0 <= j < N }")
         .statement_with_ops("Y", "[N] -> { Y[i, j] : 0 <= i < N and 0 <= j < N }", 4)
-        .edge("A", "Y", "[N] -> { A[i, j] -> Y[i2, j2] : i2 = i and j2 = j and 0 <= i < N and 0 <= j < N }")
-        .edge("B", "Y", "[N] -> { B[i, j] -> Y[i2, j2] : i2 = i and j2 = j and 0 <= i < N and 0 <= j < N }")
-        .edge("x", "Y", "[N] -> { x[j] -> Y[i, j2] : j2 = j and 0 <= i < N and 0 <= j < N }")
-        .edge("Y", "Y", "[N] -> { Y[i, j] -> Y[i2, j + 1] : i2 = i and 0 <= i < N and 0 <= j < N - 1 }")
+        .edge(
+            "A",
+            "Y",
+            "[N] -> { A[i, j] -> Y[i2, j2] : i2 = i and j2 = j and 0 <= i < N and 0 <= j < N }",
+        )
+        .edge(
+            "B",
+            "Y",
+            "[N] -> { B[i, j] -> Y[i2, j2] : i2 = i and j2 = j and 0 <= i < N and 0 <= j < N }",
+        )
+        .edge(
+            "x",
+            "Y",
+            "[N] -> { x[j] -> Y[i, j2] : j2 = j and 0 <= i < N and 0 <= j < N }",
+        )
+        .edge(
+            "Y",
+            "Y",
+            "[N] -> { Y[i, j] -> Y[i2, j + 1] : i2 = i and 0 <= i < N and 0 <= j < N - 1 }",
+        )
         .build()
         .unwrap();
     Kernel {
@@ -478,10 +584,26 @@ pub fn trisolv() -> Kernel {
         .input("L", "[N] -> { L[i, j] : 0 <= i < N and 0 <= j <= i }")
         .input("b", "[N] -> { b[i] : 0 <= i < N }")
         .statement_with_ops("X", "[N] -> { X[i, j] : 0 <= i < N and 0 <= j < i }", 2)
-        .edge("L", "X", "[N] -> { L[i, j] -> X[i2, j2] : i2 = i and j2 = j and 0 <= j < i and i < N }")
-        .edge("b", "X", "[N] -> { b[i] -> X[i2, j] : i2 = i and j = 0 and 1 <= i < N }")
-        .edge("X", "X", "[N] -> { X[i, j] -> X[i2, j + 1] : i2 = i and 0 <= j < i - 1 and i < N }")
-        .edge("X", "X", "[N] -> { X[j, k] -> X[i, j2] : j2 = j and k = j - 1 and j < i < N and 1 <= j < N }")
+        .edge(
+            "L",
+            "X",
+            "[N] -> { L[i, j] -> X[i2, j2] : i2 = i and j2 = j and 0 <= j < i and i < N }",
+        )
+        .edge(
+            "b",
+            "X",
+            "[N] -> { b[i] -> X[i2, j] : i2 = i and j = 0 and 1 <= i < N }",
+        )
+        .edge(
+            "X",
+            "X",
+            "[N] -> { X[i, j] -> X[i2, j + 1] : i2 = i and 0 <= j < i - 1 and i < N }",
+        )
+        .edge(
+            "X",
+            "X",
+            "[N] -> { X[j, k] -> X[i, j2] : j2 = j and k = j - 1 and j < i < N and 1 <= j < N }",
+        )
         .build()
         .unwrap();
     Kernel {
@@ -523,10 +645,18 @@ mod tests {
             trisolv(),
         ];
         for k in &kernels {
-            assert!(k.dfg.statements().count() >= 1, "{} has no statements", k.name);
+            assert!(
+                k.dfg.statements().count() >= 1,
+                "{} has no statements",
+                k.name
+            );
             assert!(!k.ops.is_zero(), "{} has zero ops", k.name);
             assert!(!k.input_data.is_zero(), "{} has zero input", k.name);
-            assert!(k.ops_at_large() > 0.0, "{} ops at LARGE not positive", k.name);
+            assert!(
+                k.ops_at_large() > 0.0,
+                "{} ops at LARGE not positive",
+                k.name
+            );
         }
     }
 

@@ -167,8 +167,18 @@ mod tests {
 
     #[test]
     fn all_misc_kernels_build() {
-        for k in [correlation(), covariance(), floyd_warshall(), nussinov(), deriche()] {
-            assert!(k.dfg.statements().count() >= 1, "{} has no statements", k.name);
+        for k in [
+            correlation(),
+            covariance(),
+            floyd_warshall(),
+            nussinov(),
+            deriche(),
+        ] {
+            assert!(
+                k.dfg.statements().count() >= 1,
+                "{} has no statements",
+                k.name
+            );
             assert!(!k.ops.is_zero());
             assert!(k.ops_at_large() > 0.0);
         }

@@ -196,7 +196,11 @@ mod tests {
     #[test]
     fn all_solver_kernels_build() {
         for k in [cholesky(), lu(), ludcmp(), durbin(), gramschmidt()] {
-            assert!(k.dfg.statements().count() >= 1, "{} has no statements", k.name);
+            assert!(
+                k.dfg.statements().count() >= 1,
+                "{} has no statements",
+                k.name
+            );
             assert!(!k.ops.is_zero());
             assert!(k.ops_at_large() > 0.0);
         }

@@ -88,7 +88,14 @@ pub fn heat_3d() -> Kernel {
         .edge("Ain", "A", "[T, N] -> { Ain[i, j, k] -> A[t, i2, j2, k2] : t = 0 and i2 = i and j2 = j and k2 = k and 1 <= i < N - 1 and 1 <= j < N - 1 and 1 <= k < N - 1 }")
         .edge("A", "A", "[T, N] -> { A[t, i, j, k] -> A[t + 1, i, j, k] : 0 <= t < T - 1 and 1 <= i < N - 1 and 1 <= j < N - 1 and 1 <= k < N - 1 }");
     // The six face-neighbour chains.
-    let shifts: [(i32, i32, i32); 6] = [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)];
+    let shifts: [(i32, i32, i32); 6] = [
+        (1, 0, 0),
+        (-1, 0, 0),
+        (0, 1, 0),
+        (0, -1, 0),
+        (0, 0, 1),
+        (0, 0, -1),
+    ];
     for (di, dj, dk) in shifts {
         let rel = format!(
             "[T, N] -> {{ A[t, i, j, k] -> A[t2, i2, j2, k2] : t2 = t + 1 and i2 = i + {di} and j2 = j + {dj} and k2 = k + {dk} and 0 <= t < T - 1 and 2 <= i < N - 2 and 2 <= j < N - 2 and 2 <= k < N - 2 }}"
@@ -227,8 +234,19 @@ mod tests {
 
     #[test]
     fn all_stencils_build() {
-        for k in [jacobi_1d(), jacobi_2d(), heat_3d(), seidel_2d(), fdtd_2d(), adi()] {
-            assert!(k.dfg.statements().count() >= 1, "{} has no statements", k.name);
+        for k in [
+            jacobi_1d(),
+            jacobi_2d(),
+            heat_3d(),
+            seidel_2d(),
+            fdtd_2d(),
+            adi(),
+        ] {
+            assert!(
+                k.dfg.statements().count() >= 1,
+                "{} has no statements",
+                k.name
+            );
             assert!(!k.ops.is_zero());
             assert!(k.ops_at_large() > 0.0);
         }

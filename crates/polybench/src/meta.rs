@@ -71,8 +71,10 @@ impl Kernel {
     /// moderately large sizes and the heuristic instance uses the LARGE
     /// dataset.
     pub fn analysis_options(&self) -> AnalysisOptions {
-        let mut options = AnalysisOptions::default();
-        options.max_parametrization_depth = self.parametrization_depth;
+        let mut options = AnalysisOptions {
+            max_parametrization_depth: self.parametrization_depth,
+            ..AnalysisOptions::default()
+        };
         let mut ctx = iolb_poly::Context::empty();
         let mut instance = iolb_core::Instance::new().set("S", 32_768);
         for (p, v) in self.large {

@@ -295,7 +295,6 @@ fn jacobi_2d(n: u64, t_steps: u64) -> ScheduleTrace {
                 tb.touch(&b, &[i, j]);
             }
         }
-        std::mem::swap(&mut 0, &mut 0);
         for i in 1..(n - 1) {
             for j in 1..(n - 1) {
                 tb.touch(&b, &[i, j]);
@@ -316,7 +315,17 @@ fn seidel_2d(n: u64, t_steps: u64) -> ScheduleTrace {
     for _t in 0..t_steps {
         for i in 1..(n - 1) {
             for j in 1..(n - 1) {
-                for (di, dj) in [(-1i64, -1i64), (-1, 0), (-1, 1), (0, -1), (0, 0), (0, 1), (1, -1), (1, 0), (1, 1)] {
+                for (di, dj) in [
+                    (-1i64, -1i64),
+                    (-1, 0),
+                    (-1, 1),
+                    (0, -1),
+                    (0, 0),
+                    (0, 1),
+                    (1, -1),
+                    (1, 0),
+                    (1, 1),
+                ] {
                     tb.touch(&a, &[(i as i64 + di) as u64, (j as i64 + dj) as u64]);
                 }
             }
@@ -346,11 +355,14 @@ fn heat_3d(n: u64, t_steps: u64) -> ScheduleTrace {
                         (0, 0, 1),
                         (0, 0, -1),
                     ] {
-                        tb.touch(&a, &[
-                            (i as i64 + di) as u64,
-                            (j as i64 + dj) as u64,
-                            (k as i64 + dk) as u64,
-                        ]);
+                        tb.touch(
+                            &a,
+                            &[
+                                (i as i64 + di) as u64,
+                                (j as i64 + dj) as u64,
+                                (k as i64 + dk) as u64,
+                            ],
+                        );
                     }
                     tb.touch(&b, &[i, j, k]);
                 }
@@ -706,10 +718,36 @@ mod tests {
     #[test]
     fn every_kernel_with_a_trace_produces_accesses() {
         for name in [
-            "gemm", "2mm", "3mm", "syrk", "syr2k", "trmm", "symm", "covariance", "correlation",
-            "doitgen", "floyd-warshall", "cholesky", "lu", "ludcmp", "jacobi-1d", "jacobi-2d",
-            "seidel-2d", "heat-3d", "fdtd-2d", "atax", "bicg", "mvt", "gemver", "gesummv",
-            "trisolv", "adi", "durbin", "gramschmidt", "nussinov", "deriche",
+            "gemm",
+            "2mm",
+            "3mm",
+            "syrk",
+            "syr2k",
+            "trmm",
+            "symm",
+            "covariance",
+            "correlation",
+            "doitgen",
+            "floyd-warshall",
+            "cholesky",
+            "lu",
+            "ludcmp",
+            "jacobi-1d",
+            "jacobi-2d",
+            "seidel-2d",
+            "heat-3d",
+            "fdtd-2d",
+            "atax",
+            "bicg",
+            "mvt",
+            "gemver",
+            "gesummv",
+            "trisolv",
+            "adi",
+            "durbin",
+            "gramschmidt",
+            "nussinov",
+            "deriche",
         ] {
             let t = trace(name, 48, 16).unwrap_or_else(|| panic!("no trace for {name}"));
             assert!(!t.trace.is_empty(), "{name} trace empty");

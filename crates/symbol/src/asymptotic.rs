@@ -163,9 +163,8 @@ mod tests {
     fn max_resolution_picks_fastest_growing_arm() {
         // max(N^2, N^3/sqrt(S) - N^2) -> N^3/sqrt(S).
         let arm1 = Expr::from_poly(n() * n());
-        let arm2 = Expr::from_poly(
-            n() * n() * n() * s().pow_rational(rat(-1, 2)).unwrap() - n() * n(),
-        );
+        let arm2 =
+            Expr::from_poly(n() * n() * n() * s().pow_rational(rat(-1, 2)).unwrap() - n() * n());
         let e = Expr::max(vec![arm1, arm2]);
         let d = simplify(&e, "S");
         assert_eq!(d.to_string(), "N^3*S^(-1/2)");
@@ -174,7 +173,10 @@ mod tests {
     #[test]
     fn max_with_equal_degree_uses_sample() {
         // max(N^2, 3*N^2) -> 3*N^2.
-        let e = Expr::max(vec![Expr::from_poly(n() * n()), Expr::from_poly(n() * n() * Poly::int(3))]);
+        let e = Expr::max(vec![
+            Expr::from_poly(n() * n()),
+            Expr::from_poly(n() * n() * Poly::int(3)),
+        ]);
         assert_eq!(simplify(&e, "S").to_string(), "3*N^2");
     }
 
@@ -188,7 +190,8 @@ mod tests {
     fn oi_ratio_for_gemm() {
         // #ops = 2*N^3, Q = 2*N^3/sqrt(S) -> OI_up = sqrt(S).
         let ops = Poly::int(2) * n() * n() * n();
-        let q = Expr::from_poly(Poly::int(2) * n() * n() * n() * s().pow_rational(rat(-1, 2)).unwrap());
+        let q =
+            Expr::from_poly(Poly::int(2) * n() * n() * n() * s().pow_rational(rat(-1, 2)).unwrap());
         let oi = asymptotic_ratio(&ops, &q, "S").unwrap();
         assert_eq!(oi.to_string(), "S^(1/2)");
     }

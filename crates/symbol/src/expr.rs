@@ -124,9 +124,11 @@ impl Expr {
     pub fn substitute(&self, param: &str, replacement: &Poly) -> Expr {
         match self {
             Expr::Poly(p) => Expr::Poly(p.substitute(param, replacement)),
-            Expr::Max(args) => {
-                Expr::max(args.iter().map(|a| a.substitute(param, replacement)).collect())
-            }
+            Expr::Max(args) => Expr::max(
+                args.iter()
+                    .map(|a| a.substitute(param, replacement))
+                    .collect(),
+            ),
         }
     }
 
@@ -148,7 +150,10 @@ impl Expr {
     /// (fractional exponents such as `√S` make exact evaluation impossible in
     /// general).
     pub fn eval_params(&self, pairs: &[(&str, i128)]) -> Option<f64> {
-        let env: BTreeMap<String, f64> = pairs.iter().map(|(k, v)| (k.to_string(), *v as f64)).collect();
+        let env: BTreeMap<String, f64> = pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v as f64))
+            .collect();
         self.eval_f64(&env)
     }
 
@@ -188,10 +193,13 @@ impl std::ops::Add for Expr {
 
 impl std::ops::Sub for Expr {
     type Output = Expr;
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: Expr) -> Expr {
         match rhs {
             Expr::Poly(p) => self + Expr::Poly(p.neg()),
-            Expr::Max(_) => panic!("cannot subtract a max-expression (not a lower bound preserving operation)"),
+            Expr::Max(_) => {
+                panic!("cannot subtract a max-expression (not a lower bound preserving operation)")
+            }
         }
     }
 }
@@ -212,7 +220,11 @@ impl std::ops::Mul for Expr {
                         "cannot multiply a max-expression by a negative constant"
                     );
                 }
-                Expr::max(args.into_iter().map(|a| a * Expr::Poly(p.clone())).collect())
+                Expr::max(
+                    args.into_iter()
+                        .map(|a| a * Expr::Poly(p.clone()))
+                        .collect(),
+                )
             }
             (Expr::Max(_), Expr::Max(_)) => {
                 panic!("product of two max-expressions is not supported")

@@ -128,12 +128,8 @@ fn exact_rational_pow(base: Rational, exp: Rational) -> Option<Rational> {
             return Some(0);
         }
         let approx = (x as f64).powf(1.0 / d as f64).round() as i128;
-        for cand in approx.saturating_sub(2)..=approx + 2 {
-            if cand >= 0 && cand.checked_pow(d as u32) == Some(x) {
-                return Some(cand);
-            }
-        }
-        None
+        (approx.saturating_sub(2)..=approx + 2)
+            .find(|&cand| cand >= 0 && cand.checked_pow(d as u32) == Some(x))
     };
     let num_root = root(base.numer())?;
     let den_root = root(base.denom())?;
@@ -311,7 +307,11 @@ impl Poly {
                 let powered = repl_mono
                     .pow(e)
                     .unwrap_or_else(|| panic!("cannot raise replacement to power {e}"));
-                out = out + rest_poly * Poly { terms: vec![powered] };
+                out = out
+                    + rest_poly
+                        * Poly {
+                            terms: vec![powered],
+                        };
             }
         }
         out
@@ -377,6 +377,7 @@ impl std::ops::Add for Poly {
 
 impl std::ops::Sub for Poly {
     type Output = Poly;
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: Poly) -> Poly {
         self + rhs.neg()
     }
@@ -490,7 +491,9 @@ mod tests {
         let q = (Poly::int(3) * Poly::param("S")).pow_rational(rat(3, 2));
         // 3^{3/2} is not rational, so exponentiation must refuse.
         assert!(q.is_none());
-        let r = (Poly::int(4) * Poly::param("S")).pow_rational(rat(1, 2)).unwrap();
+        let r = (Poly::int(4) * Poly::param("S"))
+            .pow_rational(rat(1, 2))
+            .unwrap();
         assert_eq!(r.to_string(), "2*S^(1/2)");
     }
 

@@ -116,16 +116,18 @@ mod tests {
     fn sum_constant_over_range() {
         // Σ_{k=lo}^{hi} 1 = hi - lo + 1.
         let s = sum_over(&Poly::int(1), "k", &Poly::param("lo"), &Poly::param("hi"));
-        assert_eq!(
-            s,
-            Poly::param("hi") - Poly::param("lo") + Poly::int(1)
-        );
+        assert_eq!(s, Poly::param("hi") - Poly::param("lo") + Poly::int(1));
     }
 
     #[test]
     fn sum_linear_with_parametric_bounds() {
         // Σ_{k=1}^{N-1} k = N(N-1)/2.
-        let s = sum_over(&Poly::param("k"), "k", &Poly::int(1), &(Poly::param("N") - Poly::int(1)));
+        let s = sum_over(
+            &Poly::param("k"),
+            "k",
+            &Poly::int(1),
+            &(Poly::param("N") - Poly::int(1)),
+        );
         let expected = (Poly::param("N") * (Poly::param("N") - Poly::int(1))).scale(rat(1, 2));
         assert_eq!(s, expected);
     }
@@ -134,7 +136,12 @@ mod tests {
     fn sum_with_free_parameters() {
         // Σ_{k=0}^{M-1} (N - k) = M*N - M(M-1)/2.
         let body = Poly::param("N") - Poly::param("k");
-        let s = sum_over(&body, "k", &Poly::int(0), &(Poly::param("M") - Poly::int(1)));
+        let s = sum_over(
+            &body,
+            "k",
+            &Poly::int(0),
+            &(Poly::param("M") - Poly::int(1)),
+        );
         assert_eq!(eval(&s, &[("N", 10), ("M", 4)]), rat(10 + 9 + 8 + 7, 1));
     }
 
@@ -153,7 +160,12 @@ mod tests {
         // |{(i, j) : 0 <= i < N, 0 <= j <= i}| = N(N+1)/2
         // computed as Σ_{i=0}^{N-1} Σ_{j=0}^{i} 1.
         let inner = sum_over(&Poly::int(1), "j", &Poly::int(0), &Poly::param("i"));
-        let outer = sum_over(&inner, "i", &Poly::int(0), &(Poly::param("N") - Poly::int(1)));
+        let outer = sum_over(
+            &inner,
+            "i",
+            &Poly::int(0),
+            &(Poly::param("N") - Poly::int(1)),
+        );
         assert_eq!(eval(&outer, &[("N", 6)]), rat(21, 1));
     }
 

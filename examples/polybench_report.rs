@@ -9,7 +9,12 @@ use iolb::prelude::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let selection: Vec<String> = if args.is_empty() {
-        vec!["gemm".into(), "cholesky".into(), "jacobi-1d".into(), "atax".into()]
+        vec![
+            "gemm".into(),
+            "cholesky".into(),
+            "jacobi-1d".into(),
+            "atax".into(),
+        ]
     } else {
         args
     };

@@ -7,8 +7,11 @@
 use iolb::cdag::{simulate_topological, Cdag};
 use iolb::prelude::*;
 
+/// One validation case: kernel name, parameter values, cache capacity.
+type Case = (&'static str, Vec<(&'static str, i128)>, usize);
+
 fn main() {
-    let cases: Vec<(&str, Vec<(&str, i128)>, usize)> = vec![
+    let cases: Vec<Case> = vec![
         ("gemm", vec![("Ni", 6), ("Nj", 6), ("Nk", 6)], 16),
         ("jacobi-1d", vec![("T", 5), ("N", 12)], 8),
         ("atax", vec![("M", 8), ("N", 8)], 12),
@@ -37,6 +40,9 @@ fn main() {
             if sound { "OK (bound <= measured)" } else { "VIOLATION" }
         );
     }
-    assert!(all_sound, "a derived bound exceeded a measured schedule cost");
+    assert!(
+        all_sound,
+        "a derived bound exceeded a measured schedule cost"
+    );
     println!("\nAll derived bounds are below the measured schedule costs — as a valid lower bound must be.");
 }

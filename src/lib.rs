@@ -33,6 +33,38 @@
 //! let oi = OiSummary::from_analysis(&analysis, Some(gemm.ops.clone())).unwrap();
 //! assert_eq!(oi.oi_up.unwrap().to_string(), "S^(1/2)");
 //! ```
+//!
+//! ## Engine architecture: interning, caching, parallel driver
+//!
+//! The polyhedral engine under [`poly`] is built for the paper's headline
+//! claim — whole-suite analysis in seconds — via three coordinated layers:
+//!
+//! * **Interning** ([`poly::interner`]): every parameter name is interned
+//!   once into a global table, and an affine expression's parameter part is a
+//!   compact sorted `Vec<(ParamId, i128)>`. The hot loops of Fourier–Motzkin
+//!   elimination ([`poly::fm`]) are two-pointer merges over `u32` keys —
+//!   no per-coefficient heap allocation or string comparison. Projection
+//!   rounds deduplicate constraints structurally via 128-bit fingerprints
+//!   ([`poly::fxhash`]) so duplicates never feed the quadratic FM blowup.
+//! * **Memoization** ([`poly::cache`]): feasibility, entailment and symbolic
+//!   cardinality queries are memoized process-wide, keyed by fingerprints of
+//!   the *exact* query inputs — a cached answer is bit-identical to
+//!   recomputation, so the cache can never change a result. Toggle with
+//!   [`poly::cache::set_enabled`]; [`poly::stats`] counts operations and hit
+//!   rates.
+//! * **Parallel driver** ([`core::driver`]): candidate-bound derivation is
+//!   independent per (parametrization depth, statement) pair, so
+//!   `AnalysisOptions { parallel: true, .. }` (the default) fans those jobs
+//!   out over OS threads ([`core::par`]) and reassembles results in the
+//!   deterministic serial order before the Lemma-4.2 combination — parallel
+//!   and serial runs produce byte-identical `Q_low`.
+//!
+//! The perf trajectory is tracked by
+//! `cargo run --release -p iolb-bench --bin perf_report`, which analyses all
+//! 30 PolyBench kernels and writes `BENCH_analysis.json` (per-kernel
+//! wall-clock plus the engine-operation counters). Micro-benchmarks live in
+//! `crates/bench/benches/analysis_time.rs` (`--features full-suite` times
+//! every kernel).
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,55 @@
+//! The acceptance gate for the interned/cached/parallel engine: on every
+//! PolyBench kernel, `analyze` with the parallel driver and the query cache
+//! enabled must produce a `q_low` **byte-identical** to the serial, uncached
+//! path. The cache is deliberately not cleared between kernels, so later
+//! kernels also exercise cross-kernel cache reuse.
+
+use iolb::prelude::*;
+
+#[test]
+fn cached_parallel_q_low_matches_serial_uncached_on_every_kernel() {
+    iolb::poly::cache::clear();
+    for kernel in iolb::polybench::all_kernels() {
+        let mut serial_opts = kernel.analysis_options();
+        serial_opts.parallel = false;
+        iolb::poly::cache::set_enabled(false);
+        let serial = analyze(&kernel.dfg, &serial_opts);
+
+        let mut parallel_opts = kernel.analysis_options();
+        parallel_opts.parallel = true;
+        iolb::poly::cache::set_enabled(true);
+        let fast = analyze(&kernel.dfg, &parallel_opts);
+
+        assert_eq!(
+            serial.q_low.to_string(),
+            fast.q_low.to_string(),
+            "{}: parallel+cached q_low diverged from serial+uncached",
+            kernel.name
+        );
+        assert_eq!(
+            serial.input_size.to_string(),
+            fast.input_size.to_string(),
+            "{}: input-size term diverged",
+            kernel.name
+        );
+        assert_eq!(
+            serial.accepted.len(),
+            fast.accepted.len(),
+            "{}: accepted candidate set diverged",
+            kernel.name
+        );
+    }
+    // Leave the cache in its default state for other tests in this process.
+    iolb::poly::cache::set_enabled(true);
+}
+
+#[test]
+fn repeated_analysis_is_deterministic() {
+    // Two runs of the same analysis (second one fully cache-warm) must agree.
+    let kernel = iolb::polybench::kernel_by_name("cholesky").unwrap();
+    let opts = kernel.analysis_options();
+    let a = analyze(&kernel.dfg, &opts);
+    let b = analyze(&kernel.dfg, &opts);
+    assert_eq!(a.q_low.to_string(), b.q_low.to_string());
+    assert_eq!(a.q_asymptotic().to_string(), b.q_asymptotic().to_string());
+}

@@ -54,7 +54,11 @@ fn lu_appendix_b_bound() {
         .into_iter()
         .filter(|p| p.vertices.len() == 2)
         .collect();
-    assert!(paths.len() >= 3, "expected at least three one-edge paths, got {}", paths.len());
+    assert!(
+        paths.len() >= 3,
+        "expected at least three one-edge paths, got {}",
+        paths.len()
+    );
     let lattice = lattice_for(&paths);
     let input = PartitionInput {
         paths: &paths,
@@ -75,7 +79,10 @@ fn lu_appendix_b_bound() {
         )
         .unwrap();
     let n3 = 1000.0_f64.powi(3);
-    assert!(v >= n3 / 3.0 - 1e-3, "leading coefficient too small: {lead}");
+    assert!(
+        v >= n3 / 3.0 - 1e-3,
+        "leading coefficient too small: {lead}"
+    );
     assert!(v <= n3, "leading coefficient implausibly large: {lead}");
 }
 
@@ -87,8 +94,16 @@ fn example1_full_analysis() {
         .input("A", "[N] -> { A[i] : 0 <= i < N }")
         .input("C", "[M] -> { C[t] : 0 <= t < M }")
         .statement("St", "[M, N] -> { St[t, i] : 0 <= t < M and 0 <= i < N }")
-        .edge("A", "St", "[N] -> { A[i] -> St[t, i2] : t = 0 and i2 = i and 0 <= i < N }")
-        .edge("C", "St", "[M, N] -> { C[t] -> St[t, i] : 0 <= t < M and 0 <= i < N }")
+        .edge(
+            "A",
+            "St",
+            "[N] -> { A[i] -> St[t, i2] : t = 0 and i2 = i and 0 <= i < N }",
+        )
+        .edge(
+            "C",
+            "St",
+            "[M, N] -> { C[t] -> St[t, i] : 0 <= t < M and 0 <= i < N }",
+        )
         .edge(
             "St",
             "St",
@@ -101,10 +116,17 @@ fn example1_full_analysis() {
     let analysis = analyze(&dfg, &options);
     // Q_low includes the compulsory misses N + M plus the partition term.
     let value = analysis
-        .q_at(&Instance::from_pairs(&[("M", 4096), ("N", 4096), ("S", 256)]))
+        .q_at(&Instance::from_pairs(&[
+            ("M", 4096),
+            ("N", 4096),
+            ("S", 256),
+        ]))
         .unwrap();
     let mn_over_s = 4096.0 * 4096.0 / 256.0;
-    assert!(value >= mn_over_s * 0.5, "bound {value} much weaker than MN/S");
+    assert!(
+        value >= mn_over_s * 0.5,
+        "bound {value} much weaker than MN/S"
+    );
     // And it never exceeds the untiled schedule cost of ~M·N loads.
     assert!(value <= 4096.0 * 4096.0 * 1.1);
 }

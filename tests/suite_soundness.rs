@@ -8,6 +8,9 @@ use iolb::cdag::{simulate_topological, Cdag};
 use iolb::prelude::*;
 use iolb_cachesim::simulate_lru;
 
+/// One validation case: kernel name, parameter values, cache capacity.
+type Case = (&'static str, Vec<(&'static str, i128)>, usize);
+
 #[test]
 fn every_kernel_analyses_and_bounds_at_least_its_inputs() {
     for kernel in iolb::polybench::all_kernels() {
@@ -30,7 +33,7 @@ fn every_kernel_analyses_and_bounds_at_least_its_inputs() {
 
 #[test]
 fn bounds_never_exceed_simulated_schedules_on_small_instances() {
-    let cases: Vec<(&str, Vec<(&str, i128)>, usize)> = vec![
+    let cases: Vec<Case> = vec![
         ("gemm", vec![("Ni", 6), ("Nj", 5), ("Nk", 7)], 12),
         ("jacobi-1d", vec![("T", 4), ("N", 10)], 6),
         ("trisolv", vec![("N", 9)], 6),
