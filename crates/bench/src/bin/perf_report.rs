@@ -2,68 +2,12 @@
 //! analysis across the 30-kernel PolyBench suite, plus engine-operation
 //! counters, so successive PRs have a perf trajectory to defend.
 //!
-//! Run with `cargo run --release -p iolb-bench --bin perf_report`.
-
-use iolb_bench::evaluate_kernel;
-use std::fmt::Write as _;
-use std::time::Instant;
+//! Run with `cargo run --release -p iolb-bench --bin perf_report`; the
+//! `iolb bench` CLI subcommand is equivalent. Passing kernel names limits
+//! the run (and skips the JSON write).
 
 fn main() {
     let filter: Vec<String> = std::env::args().skip(1).collect();
-    let mut kernels = iolb_polybench::all_kernels();
-    if !filter.is_empty() {
-        kernels.retain(|k| filter.iter().any(|f| f == k.name));
-    }
-    let mut rows: Vec<(String, f64)> = Vec::new();
-
-    iolb_poly::stats::reset();
-    let suite_start = Instant::now();
-    for kernel in kernels {
-        // Start each kernel cache-cold so its row is an attributable cost,
-        // not a function of which kernels happened to run before it.
-        iolb_poly::cache::clear();
-        let start = Instant::now();
-        let row = evaluate_kernel(&kernel);
-        let secs = start.elapsed().as_secs_f64();
-        let oi = row.our_oi_up.unwrap_or(f64::NAN);
-        println!("{:<18} {:>8.3}s  OI_up = {:.2}", kernel.name, secs, oi);
-        rows.push((kernel.name.to_string(), secs));
-    }
-    let total = suite_start.elapsed().as_secs_f64();
-    let stats = iolb_poly::stats::snapshot();
-
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"suite_wall_clock_seconds\": {total:.6},");
-    json.push_str("  \"per_kernel_cache\": \"cold (cache cleared before each kernel)\",\n");
-    let _ = writeln!(json, "  \"kernel_count\": {},", rows.len());
-    json.push_str("  \"kernels\": {\n");
-    for (i, (name, secs)) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(json, "    \"{name}\": {secs:.6}{comma}");
-    }
-    json.push_str("  },\n");
-    json.push_str("  \"engine_counters\": {\n");
-    let counters = stats.as_pairs();
-    for (i, (key, value)) in counters.iter().enumerate() {
-        let comma = if i + 1 < counters.len() { "," } else { "" };
-        let _ = writeln!(json, "    \"{key}\": {value}{comma}");
-    }
-    json.push_str("  }\n");
-    json.push_str("}\n");
-
-    println!(
-        "\nsuite wall-clock: {total:.3}s over {} kernels",
-        rows.len()
-    );
-    println!("engine counters: {:?}", counters);
-    if filter.is_empty() {
-        let path = "BENCH_analysis.json";
-        std::fs::write(path, &json).expect("write BENCH_analysis.json");
-        println!("wrote {path}");
-    } else {
-        // A filtered run is a partial measurement; don't clobber the
-        // canonical full-suite record.
-        println!("filtered run: not overwriting BENCH_analysis.json");
-    }
+    let run = iolb_bench::perf::run(&filter);
+    iolb_bench::perf::report_and_write(&run);
 }

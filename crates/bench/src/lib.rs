@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod perf;
 
 use iolb_core::{analyze, OiSummary, Report};
 use iolb_polybench::Kernel;

@@ -1,0 +1,100 @@
+//! The perf-trajectory run: per-kernel wall-clock of the full IOLB
+//! analysis plus engine-operation counters, serialised as
+//! `BENCH_analysis.json` so successive PRs have a record to defend.
+//!
+//! This is the library form of the `perf_report` binary; the `iolb bench`
+//! CLI subcommand drives the same code.
+
+use crate::evaluate_kernel;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The result of a perf run.
+pub struct PerfRun {
+    /// Per-kernel (name, wall-clock seconds), in suite order.
+    pub rows: Vec<(String, f64)>,
+    /// Whole-run wall-clock in seconds.
+    pub total_seconds: f64,
+    /// Engine-operation counters accumulated over the run
+    /// (`iolb_poly::stats`).
+    pub counters: Vec<(&'static str, u64)>,
+    /// The JSON document (the `BENCH_analysis.json` payload).
+    pub json: String,
+    /// True when every kernel ran (a filtered run is a partial
+    /// measurement and must not clobber the canonical record).
+    pub full_suite: bool,
+}
+
+/// Analyses the suite (optionally filtered by kernel name), printing one
+/// line per kernel, and assembles the JSON record.
+///
+/// Each kernel starts cache-cold so its row is an attributable cost, not a
+/// function of which kernels happened to run before it.
+pub fn run(filter: &[String]) -> PerfRun {
+    let mut kernels = iolb_polybench::all_kernels();
+    if !filter.is_empty() {
+        kernels.retain(|k| filter.iter().any(|f| f == k.name));
+    }
+    let full_suite = filter.is_empty();
+    let mut rows: Vec<(String, f64)> = Vec::new();
+
+    iolb_poly::stats::reset();
+    let suite_start = Instant::now();
+    for kernel in kernels {
+        iolb_poly::cache::clear();
+        let start = Instant::now();
+        let row = evaluate_kernel(&kernel);
+        let secs = start.elapsed().as_secs_f64();
+        let oi = row.our_oi_up.unwrap_or(f64::NAN);
+        println!("{:<18} {:>8.3}s  OI_up = {:.2}", kernel.name, secs, oi);
+        rows.push((kernel.name.to_string(), secs));
+    }
+    let total_seconds = suite_start.elapsed().as_secs_f64();
+    let stats = iolb_poly::stats::snapshot();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"suite_wall_clock_seconds\": {total_seconds:.6},");
+    json.push_str("  \"per_kernel_cache\": \"cold (cache cleared before each kernel)\",\n");
+    let _ = writeln!(json, "  \"kernel_count\": {},", rows.len());
+    json.push_str("  \"kernels\": {\n");
+    for (i, (name, secs)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{name}\": {secs:.6}{comma}");
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"engine_counters\": {\n");
+    let counters = stats.as_pairs();
+    for (i, (key, value)) in counters.iter().enumerate() {
+        let comma = if i + 1 < counters.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{key}\": {value}{comma}");
+    }
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    PerfRun {
+        rows,
+        total_seconds,
+        counters,
+        json,
+        full_suite,
+    }
+}
+
+/// Prints the run summary and writes `BENCH_analysis.json` (full-suite
+/// runs only — a filtered run never overwrites the canonical record).
+pub fn report_and_write(run: &PerfRun) {
+    println!(
+        "\nsuite wall-clock: {:.3}s over {} kernels",
+        run.total_seconds,
+        run.rows.len()
+    );
+    println!("engine counters: {:?}", run.counters);
+    if run.full_suite {
+        let path = "BENCH_analysis.json";
+        std::fs::write(path, &run.json).expect("write BENCH_analysis.json");
+        println!("wrote {path}");
+    } else {
+        println!("filtered run: not overwriting BENCH_analysis.json");
+    }
+}

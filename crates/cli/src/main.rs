@@ -1,0 +1,13 @@
+//! The `iolb` binary: dispatches to the command implementations in
+//! [`iolb_cli`] and maps errors to stderr + a non-zero exit code.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match iolb_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Binary-level end-to-end tests: run the real `iolb` executable the way a
+//! user would and check its output.
+
+use std::process::Command;
+
+fn iolb(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_iolb"))
+        .args(args)
+        .current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .output()
+        .expect("run iolb binary")
+}
+
+fn json_field(json: &str, key: &str) -> String {
+    json.lines()
+        .find(|l| l.trim_start().starts_with(&format!("\"{key}\"")))
+        .unwrap_or_else(|| panic!("field {key} in {json}"))
+        .trim()
+        .trim_end_matches(',')
+        .to_string()
+}
+
+/// The acceptance criterion of this PR:
+/// `iolb analyze examples/programs/gemm.iolb --json` produces the same
+/// parametric lower bound as the built-in gemm kernel.
+#[test]
+fn gemm_example_matches_builtin_kernel() {
+    let from_file = iolb(&["analyze", "examples/programs/gemm.iolb", "--json"]);
+    assert!(
+        from_file.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&from_file.stderr)
+    );
+    let from_kernel = iolb(&["analyze", "--kernel", "gemm", "--json"]);
+    assert!(from_kernel.status.success());
+
+    let file_json = String::from_utf8(from_file.stdout).unwrap();
+    let kernel_json = String::from_utf8(from_kernel.stdout).unwrap();
+    assert_eq!(
+        json_field(&file_json, "q_low"),
+        json_field(&kernel_json, "q_low")
+    );
+    assert_eq!(
+        json_field(&file_json, "q_asymptotic"),
+        json_field(&kernel_json, "q_asymptotic")
+    );
+    assert_eq!(
+        json_field(&kernel_json, "q_asymptotic"),
+        "\"q_asymptotic\": \"2*Ni*Nj*Nk*S^(-1/2)\""
+    );
+}
+
+#[test]
+fn remaining_example_programs_analyze() {
+    for example in ["jacobi-2d.iolb", "cholesky.iolb"] {
+        let out = iolb(&["analyze", &format!("examples/programs/{example}")]);
+        assert!(
+            out.status.success(),
+            "{example} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("Q_low"), "{example} output: {text}");
+    }
+}
+
+#[test]
+fn kernels_subcommand_lists_suite() {
+    let out = iolb(&["kernels"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.lines().count(), 31);
+}
+
+#[test]
+fn bad_input_exits_nonzero_with_position() {
+    let out = iolb(&["analyze", "/nonexistent/x.iolb"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

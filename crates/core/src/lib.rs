@@ -13,7 +13,7 @@
 //!
 //! The pipeline mirrors the paper:
 //!
-//! 1. [`iolb_dfg::genpaths`] discovers chain-circuit and broadcast DFG-paths
+//! 1. [`iolb_dfg::genpaths()`] discovers chain-circuit and broadcast DFG-paths
 //!    (reuse directions) for each statement (Algorithm 3);
 //! 2. [`partition::partition_bound`] turns a path combination into a bound
 //!    via the discrete Brascamp–Lieb inequality, interference-aware

@@ -31,6 +31,83 @@ impl Report {
         }
     }
 
+    /// Serialises the report as a JSON object (hand-rolled — the build
+    /// environment is dependency-free). All symbolic expressions are
+    /// rendered in their `Display` form; machine consumers that need more
+    /// structure should walk the [`Report::analysis`] fields directly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let field = |out: &mut String, key: &str, value: String, last: bool| {
+            out.push_str("  ");
+            out.push_str(&json_escape(key));
+            out.push_str(": ");
+            out.push_str(&value);
+            out.push_str(if last { "\n" } else { ",\n" });
+        };
+        field(&mut out, "kernel", json_escape(&self.kernel), false);
+        field(
+            &mut out,
+            "q_low",
+            json_escape(&self.analysis.q_low.to_string()),
+            false,
+        );
+        field(
+            &mut out,
+            "q_asymptotic",
+            json_escape(&self.analysis.q_asymptotic().to_string()),
+            false,
+        );
+        field(
+            &mut out,
+            "input_size",
+            json_escape(&self.analysis.input_size.to_string()),
+            false,
+        );
+        field(
+            &mut out,
+            "cache_param",
+            json_escape(&self.analysis.cache_param),
+            false,
+        );
+        let ops = match &self.oi {
+            Some(oi) => json_escape(&oi.ops.to_string()),
+            None => "null".to_string(),
+        };
+        field(&mut out, "ops", ops, false);
+        let oi_up = match self.oi.as_ref().and_then(|o| o.oi_up.as_ref()) {
+            Some(up) => json_escape(&up.to_string()),
+            None => "null".to_string(),
+        };
+        field(&mut out, "oi_up", oi_up, false);
+        field(
+            &mut out,
+            "num_candidates",
+            self.analysis.candidates.len().to_string(),
+            false,
+        );
+        out.push_str("  \"accepted_bounds\": [");
+        for (i, b) in self.analysis.accepted.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    { \"bound\": ");
+            out.push_str(&json_escape(&b.to_string()));
+            out.push_str(", \"notes\": [");
+            for (j, note) in b.notes.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_escape(note));
+            }
+            out.push_str("] }");
+        }
+        if !self.analysis.accepted.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
     /// One-line summary: kernel, asymptotic bound, asymptotic OI.
     pub fn summary_line(&self) -> String {
         let q = self.analysis.q_asymptotic();
@@ -47,6 +124,27 @@ impl Report {
             oi
         )
     }
+}
+
+/// Renders a string as a JSON string literal (quotes, backslashes and
+/// control characters escaped; other characters pass through as UTF-8,
+/// which JSON permits).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl fmt::Display for Report {
@@ -104,5 +202,26 @@ mod tests {
         let line = report.summary_line();
         assert!(line.contains("copy"));
         assert!(line.contains("OI_up"));
+    }
+
+    #[test]
+    fn report_serialises_to_json() {
+        let g = simple();
+        let options = AnalysisOptions::with_default_instance(&["N"], 1000, 128);
+        let analysis = analyze(&g, &options);
+        let report = Report::new("copy", analysis, None);
+        let json = report.to_json();
+        assert!(json.contains("\"kernel\": \"copy\""));
+        assert!(json.contains("\"q_low\": \""));
+        assert!(json.contains("\"accepted_bounds\": ["));
+        // Quotes must be balanced (escaping kept the literal well-formed).
+        let unescaped_quotes = json.replace("\\\"", "").matches('"').count();
+        assert_eq!(unescaped_quotes % 2, 0);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_escape("Q∞"), "\"Q∞\"");
     }
 }

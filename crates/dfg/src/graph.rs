@@ -247,11 +247,18 @@ fn sample_env(p: &iolb_symbol::Poly) -> std::collections::BTreeMap<String, f64> 
     p.params().into_iter().map(|n| (n, 100.0)).collect()
 }
 
+/// An edge relation supplied to the builder: ISL-like text (parsed at
+/// [`DfgBuilder::build`] time) or an already-constructed relation.
+enum EdgeSpec {
+    Text(String),
+    Rel(BasicMap),
+}
+
 /// Incremental builder for [`Dfg`].
 #[derive(Default)]
 pub struct DfgBuilder {
     nodes: Vec<DfgNode>,
-    edges: Vec<(String, String, String)>,
+    edges: Vec<(String, String, EdgeSpec)>,
     errors: Vec<DfgError>,
 }
 
@@ -259,14 +266,22 @@ impl DfgBuilder {
     /// Declares an input-array vertex with a domain in ISL-like notation.
     pub fn input(mut self, name: &str, domain: &str) -> Self {
         match parse_set(domain) {
-            Ok(d) => self.nodes.push(DfgNode {
-                name: name.to_string(),
-                domain: d,
-                is_input: true,
-                ops_per_instance: 0,
-            }),
+            Ok(d) => self = self.input_set(name, d),
             Err(e) => self.errors.push(e.into()),
         }
+        self
+    }
+
+    /// Declares an input-array vertex from an already-constructed index
+    /// domain (the entry point used by generated front ends, which build
+    /// domains programmatically instead of via the textual notation).
+    pub fn input_set(mut self, name: &str, domain: BasicSet) -> Self {
+        self.nodes.push(DfgNode {
+            name: name.to_string(),
+            domain,
+            is_input: true,
+            ops_per_instance: 0,
+        });
         self
     }
 
@@ -280,21 +295,41 @@ impl DfgBuilder {
     /// instance (used for the `#ops` metadata of Table 1).
     pub fn statement_with_ops(mut self, name: &str, domain: &str, ops: u64) -> Self {
         match parse_set(domain) {
-            Ok(d) => self.nodes.push(DfgNode {
-                name: name.to_string(),
-                domain: d,
-                is_input: false,
-                ops_per_instance: ops,
-            }),
+            Ok(d) => self = self.statement_set_with_ops(name, d, ops),
             Err(e) => self.errors.push(e.into()),
         }
         self
     }
 
+    /// Declares a statement vertex from an already-constructed iteration
+    /// domain with an explicit per-instance operation count.
+    pub fn statement_set_with_ops(mut self, name: &str, domain: BasicSet, ops: u64) -> Self {
+        self.nodes.push(DfgNode {
+            name: name.to_string(),
+            domain,
+            is_input: false,
+            ops_per_instance: ops,
+        });
+        self
+    }
+
     /// Declares a flow-dependence edge with a relation in ISL-like notation.
     pub fn edge(mut self, src: &str, dst: &str, relation: &str) -> Self {
+        self.edges.push((
+            src.to_string(),
+            dst.to_string(),
+            EdgeSpec::Text(relation.to_string()),
+        ));
+        self
+    }
+
+    /// Declares a flow-dependence edge from an already-constructed relation
+    /// (producer coordinates → consumer coordinates). The relation's tuple
+    /// names must match the endpoint vertex names, exactly as for textual
+    /// edges.
+    pub fn edge_rel(mut self, src: &str, dst: &str, relation: BasicMap) -> Self {
         self.edges
-            .push((src.to_string(), dst.to_string(), relation.to_string()));
+            .push((src.to_string(), dst.to_string(), EdgeSpec::Rel(relation)));
         self
     }
 
@@ -316,14 +351,17 @@ impl DfgBuilder {
             }
         }
         let mut edges = Vec::new();
-        for (src, dst, rel) in &self.edges {
+        for (src, dst, spec) in &self.edges {
             let Some(&si) = index.get(src) else {
                 return Err(DfgError::UnknownVertex(src.clone()));
             };
             let Some(&di) = index.get(dst) else {
                 return Err(DfgError::UnknownVertex(dst.clone()));
             };
-            let relation = parse_map(rel)?;
+            let relation = match spec {
+                EdgeSpec::Text(rel) => parse_map(rel)?,
+                EdgeSpec::Rel(rel) => rel.clone(),
+            };
             let edge_name = format!("{src} -> {dst}");
             let src_node = &self.nodes[si];
             let dst_node = &self.nodes[di];

@@ -1,0 +1,328 @@
+//! Abstract syntax tree of the affine-C language, plus a canonical
+//! pretty-printer.
+//!
+//! The pretty-printer ([`Program`]'s `Display`) emits a program that parses
+//! back to the *same* AST (modulo source positions) — the round-trip
+//! property the parser tests rely on. Comparisons therefore ignore spans:
+//! [`PartialEq`] on AST nodes is structural only.
+
+use crate::Span;
+use std::fmt;
+
+/// A whole source file: declarations and top-level statements in order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// The items in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+#[derive(Clone, Debug)]
+pub enum Item {
+    /// `parameter N, M;`
+    Parameters(Vec<String>, Span),
+    /// `double A[N][M];` — an array (or scalar, with no brackets)
+    /// declaration. The element type is kept only for printing.
+    Array {
+        /// Element type as written (`double`, `float`, …).
+        ty: String,
+        /// Array name.
+        name: String,
+        /// One extent expression per dimension (affine in parameters).
+        dims: Vec<Expr>,
+        /// Source position.
+        span: Span,
+    },
+    /// A loop or assignment.
+    Stmt(Stmt),
+}
+
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Item::Parameters(a, _), Item::Parameters(b, _)) => a == b,
+            (
+                Item::Array {
+                    ty: t1,
+                    name: n1,
+                    dims: d1,
+                    ..
+                },
+                Item::Array {
+                    ty: t2,
+                    name: n2,
+                    dims: d2,
+                    ..
+                },
+            ) => t1 == t2 && n1 == n2 && d1 == d2,
+            (Item::Stmt(a), Item::Stmt(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// A statement: a `for` loop or an assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// A `for` loop.
+    For(ForLoop),
+    /// An assignment.
+    Assign(Assign),
+}
+
+/// `for (i = lb; i < ub; i++) body` (or `<=`).
+#[derive(Clone, Debug)]
+pub struct ForLoop {
+    /// Iterator name.
+    pub iter: String,
+    /// Lower bound (inclusive).
+    pub lb: Expr,
+    /// Upper bound.
+    pub ub: Expr,
+    /// True when the condition uses `<` (exclusive), false for `<=`.
+    pub strict: bool,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+    /// Source position of the `for` keyword.
+    pub span: Span,
+}
+
+impl PartialEq for ForLoop {
+    fn eq(&self, other: &Self) -> bool {
+        self.iter == other.iter
+            && self.lb == other.lb
+            && self.ub == other.ub
+            && self.strict == other.strict
+            && self.body == other.body
+    }
+}
+
+/// Compound-assignment operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+}
+
+impl AssignOp {
+    /// The operator as written in source.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AssignOp::Set => "=",
+            AssignOp::Add => "+=",
+            AssignOp::Sub => "-=",
+            AssignOp::Mul => "*=",
+            AssignOp::Div => "/=",
+        }
+    }
+}
+
+/// `[label:] lhs op= rhs;`
+#[derive(Clone, Debug)]
+pub struct Assign {
+    /// Optional statement label (becomes the DFG vertex name).
+    pub label: Option<String>,
+    /// The written array cell.
+    pub lhs: AccessExpr,
+    /// Assignment operator.
+    pub op: AssignOp,
+    /// Right-hand side.
+    pub rhs: Expr,
+    /// Source position of the left-hand side.
+    pub span: Span,
+}
+
+impl PartialEq for Assign {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label
+            && self.lhs == other.lhs
+            && self.op == other.op
+            && self.rhs == other.rhs
+    }
+}
+
+/// An array reference `A[e1][e2]…` (no brackets for scalars).
+#[derive(Clone, Debug)]
+pub struct AccessExpr {
+    /// Array name.
+    pub array: String,
+    /// Subscript expressions.
+    pub subs: Vec<Expr>,
+    /// Source position of the array name.
+    pub span: Span,
+}
+
+impl PartialEq for AccessExpr {
+    fn eq(&self, other: &Self) -> bool {
+        self.array == other.array && self.subs == other.subs
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    /// The operator as written in source.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// An arithmetic expression.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i128, Span),
+    /// Iterator, parameter or scalar-variable reference.
+    Ident(String, Span),
+    /// Array reference with subscripts.
+    Access(AccessExpr),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>, Span),
+    /// Intrinsic call such as `sqrt(x)`.
+    Call(String, Vec<Expr>, Span),
+}
+
+impl Expr {
+    /// The source position of the expression's head.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Num(_, s) | Expr::Ident(_, s) | Expr::Neg(_, s) | Expr::Call(_, _, s) => *s,
+            Expr::Access(a) => a.span,
+            Expr::Bin(_, l, _) => l.span(),
+        }
+    }
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Expr::Num(a, _), Expr::Num(b, _)) => a == b,
+            (Expr::Ident(a, _), Expr::Ident(b, _)) => a == b,
+            (Expr::Access(a), Expr::Access(b)) => a == b,
+            (Expr::Bin(o1, l1, r1), Expr::Bin(o2, l2, r2)) => o1 == o2 && l1 == l2 && r1 == r2,
+            (Expr::Neg(a, _), Expr::Neg(b, _)) => a == b,
+            (Expr::Call(n1, a1, _), Expr::Call(n2, a2, _)) => n1 == n2 && a1 == a2,
+            _ => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pretty-printer. Binary expressions are printed fully parenthesised except
+// at the top level, which keeps the printer trivially re-parseable without
+// tracking precedence.
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(n, _) => write!(f, "{n}"),
+            Expr::Ident(s, _) => write!(f, "{s}"),
+            Expr::Access(a) => write!(f, "{a}"),
+            Expr::Bin(op, l, r) => write!(f, "({l} {} {r})", op.as_str()),
+            Expr::Neg(e, _) => write!(f, "(-{e})"),
+            Expr::Call(name, args, _) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for AccessExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.array)?;
+        for s in &self.subs {
+            write!(f, "[{s}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_stmt(f, self, 0)
+    }
+}
+
+fn indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    write!(f, "{:1$}", "", depth * 2)
+}
+
+fn write_stmt(f: &mut fmt::Formatter<'_>, stmt: &Stmt, depth: usize) -> fmt::Result {
+    match stmt {
+        Stmt::For(l) => {
+            indent(f, depth)?;
+            writeln!(
+                f,
+                "for ({it} = {lb}; {it} {op} {ub}; {it}++) {{",
+                it = l.iter,
+                lb = l.lb,
+                op = if l.strict { "<" } else { "<=" },
+                ub = l.ub,
+            )?;
+            for s in &l.body {
+                write_stmt(f, s, depth + 1)?;
+            }
+            indent(f, depth)?;
+            writeln!(f, "}}")
+        }
+        Stmt::Assign(a) => {
+            indent(f, depth)?;
+            if let Some(label) = &a.label {
+                write!(f, "{label}: ")?;
+            }
+            writeln!(f, "{} {} {};", a.lhs, a.op.as_str(), a.rhs)
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for item in &self.items {
+            match item {
+                Item::Parameters(names, _) => writeln!(f, "parameter {};", names.join(", "))?,
+                Item::Array { ty, name, dims, .. } => {
+                    write!(f, "{ty} {name}")?;
+                    for d in dims {
+                        write!(f, "[{d}]")?;
+                    }
+                    writeln!(f, ";")?;
+                }
+                Item::Stmt(s) => write_stmt(f, s, 0)?,
+            }
+        }
+        Ok(())
+    }
+}

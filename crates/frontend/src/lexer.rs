@@ -1,0 +1,193 @@
+//! Tokenizer for the affine-C input language.
+//!
+//! Comments (`// …`, `# …` and `/* … */`) are skipped; every token carries
+//! the 1-based line/column where it starts so parse and semantic errors can
+//! point at the offending source.
+
+use crate::{Error, Span};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (`for`, `parameter`, a type name, an array…).
+    Ident(String),
+    /// Unsigned integer literal (the parser applies unary minus).
+    Number(i128),
+    /// Single punctuation character: `( ) [ ] { } ; , :`.
+    Punct(char),
+    /// Operator: `+ - * / = += -= *= /= ++ < <= > >=`.
+    Op(&'static str),
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Number(n) => write!(f, "`{n}`"),
+            Token::Punct(c) => write!(f, "`{c}`"),
+            Token::Op(s) => write!(f, "`{s}`"),
+        }
+    }
+}
+
+/// A token plus the source position where it starts.
+#[derive(Clone, Debug)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Tokenizes a whole source file.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on characters outside the language's alphabet or an
+/// unterminated block comment.
+pub fn tokenize(src: &str) -> Result<Vec<SpannedToken>, Error> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! advance {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let span = Span { line, col };
+        if c.is_whitespace() {
+            advance!();
+            continue;
+        }
+        // Comments.
+        if c == '#' || (c == '/' && i + 1 < chars.len() && chars[i + 1] == '/') {
+            while i < chars.len() && chars[i] != '\n' {
+                advance!();
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            advance!();
+            advance!();
+            loop {
+                if i + 1 >= chars.len() {
+                    return Err(Error::new("unterminated block comment", span));
+                }
+                if chars[i] == '*' && chars[i + 1] == '/' {
+                    advance!();
+                    advance!();
+                    break;
+                }
+                advance!();
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                s.push(chars[i]);
+                advance!();
+            }
+            out.push(SpannedToken {
+                token: Token::Ident(s),
+                span,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut n: i128 = 0;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                n = n
+                    .checked_mul(10)
+                    .and_then(|v| v.checked_add((chars[i] as u8 - b'0') as i128))
+                    .ok_or_else(|| Error::new("integer literal overflows i128", span))?;
+                advance!();
+            }
+            out.push(SpannedToken {
+                token: Token::Number(n),
+                span,
+            });
+            continue;
+        }
+        let two = if i + 1 < chars.len() {
+            Some((c, chars[i + 1]))
+        } else {
+            None
+        };
+        let op2 = match two {
+            Some(('+', '+')) => Some("++"),
+            Some(('+', '=')) => Some("+="),
+            Some(('-', '=')) => Some("-="),
+            Some(('*', '=')) => Some("*="),
+            Some(('/', '=')) => Some("/="),
+            Some(('<', '=')) => Some("<="),
+            Some(('>', '=')) => Some(">="),
+            _ => None,
+        };
+        if let Some(op) = op2 {
+            advance!();
+            advance!();
+            out.push(SpannedToken {
+                token: Token::Op(op),
+                span,
+            });
+            continue;
+        }
+        let tok = match c {
+            '+' => Token::Op("+"),
+            '-' => Token::Op("-"),
+            '*' => Token::Op("*"),
+            '/' => Token::Op("/"),
+            '=' => Token::Op("="),
+            '<' => Token::Op("<"),
+            '>' => Token::Op(">"),
+            '(' | ')' | '[' | ']' | '{' | '}' | ';' | ',' | ':' => Token::Punct(c),
+            other => return Err(Error::new(format!("unexpected character `{other}`"), span)),
+        };
+        advance!();
+        out.push(SpannedToken { token: tok, span });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_and_positions() {
+        let toks = tokenize("for (i = 0; i < N; i++)\n  A[i] += 2;").unwrap();
+        assert_eq!(toks[0].token, Token::Ident("for".into()));
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        let plus_eq = toks
+            .iter()
+            .find(|t| t.token == Token::Op("+="))
+            .expect("+= token");
+        assert_eq!(plus_eq.span.line, 2);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("// nothing\n# also nothing\n/* or\nthis */ x").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].token, Token::Ident("x".into()));
+    }
+
+    #[test]
+    fn bad_character_is_reported() {
+        let err = tokenize("a ? b").unwrap_err();
+        assert_eq!(err.to_string(), "1:3: unexpected character `?`");
+    }
+}

@@ -1,0 +1,375 @@
+//! Recursive-descent parser for the affine-C language.
+//!
+//! The grammar is documented in the crate root ([`crate`]); this module
+//! turns a token stream into the [`crate::ast`] types with positioned
+//! error messages.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, SpannedToken, Token};
+use crate::{Error, Span};
+
+/// Element-type keywords accepted in array declarations.
+const TYPE_KEYWORDS: &[&str] = &["double", "float", "real", "int"];
+
+/// Parses a whole source file into an AST.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic [`Error`], positioned at the
+/// offending token.
+pub fn parse(src: &str) -> Result<Program, Error> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !p.at_end() {
+        items.push(p.item()?);
+    }
+    Ok(Program { items })
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset).map(|t| &t.token)
+    }
+
+    fn span(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span)
+            .or_else(|| self.tokens.last().map(|t| t.span))
+            .unwrap_or(Span { line: 1, col: 1 })
+    }
+
+    fn bump(&mut self) -> Option<SpannedToken> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> Error {
+        Error::new(msg, self.span())
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), Error> {
+        match self.peek() {
+            Some(Token::Punct(p)) if *p == c => {
+                self.bump();
+                Ok(())
+            }
+            Some(t) => Err(self.error(format!("expected `{c}`, found {t}"))),
+            None => Err(self.error(format!("expected `{c}`, found end of input"))),
+        }
+    }
+
+    fn expect_op(&mut self, op: &str) -> Result<(), Error> {
+        match self.peek() {
+            Some(Token::Op(o)) if *o == op => {
+                self.bump();
+                Ok(())
+            }
+            Some(t) => Err(self.error(format!("expected `{op}`, found {t}"))),
+            None => Err(self.error(format!("expected `{op}`, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), Error> {
+        match self.peek() {
+            Some(Token::Ident(_)) => {
+                let t = self.bump().unwrap();
+                let Token::Ident(s) = t.token else {
+                    unreachable!()
+                };
+                Ok((s, t.span))
+            }
+            Some(t) => Err(self.error(format!("expected {what}, found {t}"))),
+            None => Err(self.error(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn item(&mut self) -> Result<Item, Error> {
+        match self.peek() {
+            Some(Token::Ident(kw)) if kw == "parameter" || kw == "param" => {
+                let span = self.span();
+                self.bump();
+                let mut names = vec![self.expect_ident("parameter name")?.0];
+                while self.peek() == Some(&Token::Punct(',')) {
+                    self.bump();
+                    names.push(self.expect_ident("parameter name")?.0);
+                }
+                self.expect_punct(';')?;
+                Ok(Item::Parameters(names, span))
+            }
+            Some(Token::Ident(kw)) if TYPE_KEYWORDS.contains(&kw.as_str()) => {
+                let span = self.span();
+                let (ty, _) = self.expect_ident("type")?;
+                let (name, _) = self.expect_ident("array name")?;
+                let mut dims = Vec::new();
+                while self.peek() == Some(&Token::Punct('[')) {
+                    self.bump();
+                    dims.push(self.expr()?);
+                    self.expect_punct(']')?;
+                }
+                self.expect_punct(';')?;
+                Ok(Item::Array {
+                    ty,
+                    name,
+                    dims,
+                    span,
+                })
+            }
+            _ => Ok(Item::Stmt(self.stmt()?)),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Error> {
+        match self.peek() {
+            Some(Token::Ident(kw)) if kw == "for" => Ok(Stmt::For(self.for_loop()?)),
+            Some(Token::Ident(_)) => Ok(Stmt::Assign(self.assign()?)),
+            Some(t) => Err(self.error(format!("expected a statement, found {t}"))),
+            None => Err(self.error("expected a statement, found end of input")),
+        }
+    }
+
+    fn for_loop(&mut self) -> Result<ForLoop, Error> {
+        let span = self.span();
+        self.bump(); // `for`
+        self.expect_punct('(')?;
+        let (iter, _) = self.expect_ident("loop iterator")?;
+        self.expect_op("=")?;
+        let lb = self.expr()?;
+        self.expect_punct(';')?;
+        let (cond_iter, cond_span) = self.expect_ident("loop iterator")?;
+        if cond_iter != iter {
+            return Err(Error::new(
+                format!("loop condition tests `{cond_iter}`, expected `{iter}`"),
+                cond_span,
+            ));
+        }
+        let strict = match self.peek() {
+            Some(Token::Op("<")) => true,
+            Some(Token::Op("<=")) => false,
+            Some(t) => return Err(self.error(format!("expected `<` or `<=`, found {t}"))),
+            None => return Err(self.error("expected `<` or `<=`, found end of input")),
+        };
+        self.bump();
+        let ub = self.expr()?;
+        self.expect_punct(';')?;
+        let (inc_iter, inc_span) = self.expect_ident("loop iterator")?;
+        if inc_iter != iter {
+            return Err(Error::new(
+                format!("loop increment steps `{inc_iter}`, expected `{iter}`"),
+                inc_span,
+            ));
+        }
+        self.expect_op("++")?;
+        self.expect_punct(')')?;
+        let body = if self.peek() == Some(&Token::Punct('{')) {
+            self.bump();
+            let mut body = Vec::new();
+            while self.peek() != Some(&Token::Punct('}')) {
+                if self.at_end() {
+                    return Err(self.error("expected `}`, found end of input"));
+                }
+                body.push(self.stmt()?);
+            }
+            self.bump();
+            body
+        } else {
+            vec![self.stmt()?]
+        };
+        Ok(ForLoop {
+            iter,
+            lb,
+            ub,
+            strict,
+            body,
+            span,
+        })
+    }
+
+    fn assign(&mut self) -> Result<Assign, Error> {
+        // Optional `label:` prefix.
+        let label = if matches!(self.peek(), Some(Token::Ident(_)))
+            && self.peek_at(1) == Some(&Token::Punct(':'))
+        {
+            let (name, _) = self.expect_ident("label")?;
+            self.bump(); // `:`
+            Some(name)
+        } else {
+            None
+        };
+        let span = self.span();
+        let lhs = self.access()?;
+        let op = match self.peek() {
+            Some(Token::Op("=")) => AssignOp::Set,
+            Some(Token::Op("+=")) => AssignOp::Add,
+            Some(Token::Op("-=")) => AssignOp::Sub,
+            Some(Token::Op("*=")) => AssignOp::Mul,
+            Some(Token::Op("/=")) => AssignOp::Div,
+            Some(t) => {
+                return Err(self.error(format!("expected an assignment operator, found {t}")))
+            }
+            None => return Err(self.error("expected an assignment operator, found end of input")),
+        };
+        self.bump();
+        let rhs = self.expr()?;
+        self.expect_punct(';')?;
+        Ok(Assign {
+            label,
+            lhs,
+            op,
+            rhs,
+            span,
+        })
+    }
+
+    fn access(&mut self) -> Result<AccessExpr, Error> {
+        let (array, span) = self.expect_ident("array name")?;
+        let mut subs = Vec::new();
+        while self.peek() == Some(&Token::Punct('[')) {
+            self.bump();
+            subs.push(self.expr()?);
+            self.expect_punct(']')?;
+        }
+        Ok(AccessExpr { array, subs, span })
+    }
+
+    fn expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Op("+")) => BinOp::Add,
+                Some(Token::Op("-")) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Op("*")) => BinOp::Mul,
+                Some(Token::Op("/")) => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, Error> {
+        match self.peek() {
+            Some(Token::Number(_)) => {
+                let t = self.bump().unwrap();
+                let Token::Number(n) = t.token else {
+                    unreachable!()
+                };
+                Ok(Expr::Num(n, t.span))
+            }
+            Some(Token::Op("-")) => {
+                let span = self.span();
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.factor()?), span))
+            }
+            Some(Token::Punct('(')) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(')')?;
+                Ok(e)
+            }
+            Some(Token::Ident(_)) => {
+                let (name, span) = self.expect_ident("identifier")?;
+                match self.peek() {
+                    Some(Token::Punct('(')) => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if self.peek() != Some(&Token::Punct(')')) {
+                            args.push(self.expr()?);
+                            while self.peek() == Some(&Token::Punct(',')) {
+                                self.bump();
+                                args.push(self.expr()?);
+                            }
+                        }
+                        self.expect_punct(')')?;
+                        Ok(Expr::Call(name, args, span))
+                    }
+                    Some(Token::Punct('[')) => {
+                        let mut subs = Vec::new();
+                        while self.peek() == Some(&Token::Punct('[')) {
+                            self.bump();
+                            subs.push(self.expr()?);
+                            self.expect_punct(']')?;
+                        }
+                        Ok(Expr::Access(AccessExpr {
+                            array: name,
+                            subs,
+                            span,
+                        }))
+                    }
+                    _ => Ok(Expr::Ident(name, span)),
+                }
+            }
+            Some(t) => Err(self.error(format!("expected an expression, found {t}"))),
+            None => Err(self.error("expected an expression, found end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_loop_nest() {
+        let src = "parameter N;\ndouble A[N];\nfor (i = 0; i < N; i++)\n  A[i] = A[i] + 1;";
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.items.len(), 3);
+        let Item::Stmt(Stmt::For(l)) = &ast.items[2] else {
+            panic!("expected a for loop")
+        };
+        assert_eq!(l.iter, "i");
+        assert!(l.strict);
+        assert_eq!(l.body.len(), 1);
+    }
+
+    #[test]
+    fn labels_and_compound_ops() {
+        let src = "double s;\nfor (i = 0; i <= 9; i++)\n  S: s += i;";
+        let ast = parse(src).unwrap();
+        let Item::Stmt(Stmt::For(l)) = &ast.items[1] else {
+            panic!("expected a for loop")
+        };
+        let Stmt::Assign(a) = &l.body[0] else {
+            panic!("expected an assignment")
+        };
+        assert_eq!(a.label.as_deref(), Some("S"));
+        assert_eq!(a.op, AssignOp::Add);
+    }
+
+    #[test]
+    fn mismatched_loop_iterator_is_reported() {
+        let err = parse("for (i = 0; j < 4; i++) { }").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "1:13: loop condition tests `j`, expected `i`"
+        );
+    }
+}

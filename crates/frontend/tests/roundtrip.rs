@@ -1,0 +1,80 @@
+//! Parser round-trip tests: pretty-printing a parsed program and parsing
+//! it again must reproduce the same AST (spans excluded — AST equality is
+//! structural).
+
+use iolb_frontend::parse;
+
+fn roundtrip(src: &str) {
+    let ast = parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+    let printed = ast.to_string();
+    let reparsed = parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+    assert_eq!(ast, reparsed, "printed form:\n{printed}");
+    // The printer is canonical: printing the re-parsed AST is a fixpoint.
+    assert_eq!(printed, reparsed.to_string());
+}
+
+#[test]
+fn gemm_roundtrips() {
+    roundtrip(
+        "parameter Ni, Nj, Nk;\n\
+         double A[Ni][Nk];\n\
+         double B[Nk][Nj];\n\
+         double C[Ni][Nj];\n\
+         for (i = 0; i < Ni; i++)\n\
+           for (j = 0; j < Nj; j++)\n\
+             for (k = 0; k < Nk; k++)\n\
+               C[i][j] = C[i][j] + A[i][k] * B[k][j];\n",
+    );
+}
+
+#[test]
+fn expressions_roundtrip_with_precedence() {
+    // Mixed precedence, unary minus, division, calls, scalars.
+    roundtrip(
+        "parameter N;\n\
+         double a;\n\
+         double x[N];\n\
+         for (i = 0; i < N; i++)\n\
+           x[i] = -x[i] * 2 + (a - 3) / sqrt(x[i] + 1);\n",
+    );
+}
+
+#[test]
+fn labels_compound_ops_and_triangular_bounds_roundtrip() {
+    roundtrip(
+        "parameter N;\n\
+         double A[N][N];\n\
+         for (k = 0; k < N; k++) {\n\
+           S1: A[k][k] = sqrt(A[k][k]);\n\
+           for (i = k + 1; i <= N - 1; i++)\n\
+             S2: A[i][k] /= A[k][k];\n\
+         }\n",
+    );
+}
+
+#[test]
+fn sequenced_loops_roundtrip() {
+    roundtrip(
+        "parameter T, N;\n\
+         double A[N];\n\
+         double B[N];\n\
+         for (t = 0; t < T; t++) {\n\
+           for (i = 1; i < N - 1; i++)\n\
+             B[i] = A[i - 1] + A[i] + A[i + 1];\n\
+           for (i = 1; i < N - 1; i++)\n\
+             A[i] = B[i];\n\
+         }\n",
+    );
+}
+
+#[test]
+fn the_example_programs_roundtrip() {
+    for name in ["gemm.iolb", "jacobi-2d.iolb", "cholesky.iolb"] {
+        let path = format!(
+            "{}/../../examples/programs/{name}",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        roundtrip(&src);
+    }
+}

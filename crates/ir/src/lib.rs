@@ -38,6 +38,10 @@
 
 #![warn(missing_docs)]
 
+pub mod dataflow;
+
+pub use dataflow::{Access, AccessProgram, AccessStatement, ArrayInfo, DataflowError, SchedStep};
+
 use iolb_dfg::{Dfg, DfgError};
 
 /// A read access of a statement: a relation from statement instances to the

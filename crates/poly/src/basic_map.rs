@@ -236,6 +236,90 @@ impl BasicMap {
         }
     }
 
+    /// Relation difference `self ∖ other`, as a union of basic relations.
+    ///
+    /// Mirrors [`BasicSet::subtract`] over the concatenated `(in, out)`
+    /// dimensions: one piece per constraint of `other`, where that constraint
+    /// is (integrally) violated while the preceding ones still hold. Pieces
+    /// are passed through [`BasicMap::detect_equalities`], because the
+    /// violated-then-bounded inequality pairs this construction produces are
+    /// often implied equalities that downstream classification (translation
+    /// detection, broadcast extraction) prefers explicit.
+    pub fn subtract(&self, other: &BasicMap) -> crate::Map {
+        assert!(
+            self.in_space.compatible(other.in_space())
+                && self.out_space.compatible(other.out_space()),
+            "subtracting incompatible relations"
+        );
+        let n = self.arity();
+        let mut pieces = Vec::new();
+        let mut prefix: Vec<Constraint> = Vec::new();
+        for c in &other.constraints {
+            // Integral violation of `c`: expr <= -1 (inequality), or
+            // expr >= 1 / expr <= -1 (equality).
+            let signs: &[i128] = match c.kind {
+                ConstraintKind::Inequality => &[-1],
+                ConstraintKind::Equality => &[1, -1],
+            };
+            for &sign in signs {
+                let viol = Constraint::ge0(c.expr.scale(sign).add(&LinExpr::constant(n, -1)));
+                let mut cs = self.constraints.clone();
+                cs.extend(prefix.iter().cloned());
+                cs.push(viol);
+                let piece = BasicMap {
+                    in_space: self.in_space.clone(),
+                    out_space: self.out_space.clone(),
+                    constraints: cs,
+                };
+                if !piece.is_empty() {
+                    pieces.push(piece.detect_equalities());
+                }
+            }
+            prefix.push(c.clone());
+        }
+        if other.constraints.is_empty() {
+            // Subtracting the universe leaves nothing.
+            return crate::Map::empty(self.in_space.clone(), self.out_space.clone());
+        }
+        crate::Map::from_basic_maps(self.in_space.clone(), self.out_space.clone(), pieces)
+    }
+
+    /// Replaces each pair of opposite inequalities `e ≥ 0`, `−e ≥ 0` by the
+    /// single equality `e = 0`, leaving all other constraints untouched.
+    pub fn detect_equalities(&self) -> BasicMap {
+        let n = self.constraints.len();
+        let mut consumed = vec![false; n];
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            if consumed[i] {
+                continue;
+            }
+            let c = &self.constraints[i];
+            if c.kind != ConstraintKind::Inequality {
+                out.push(c.clone());
+                continue;
+            }
+            let neg = c.expr.scale(-1);
+            let partner = (i + 1..n).find(|&j| {
+                !consumed[j]
+                    && self.constraints[j].kind == ConstraintKind::Inequality
+                    && self.constraints[j].expr == neg
+            });
+            match partner {
+                Some(j) => {
+                    consumed[j] = true;
+                    out.push(Constraint::eq(c.expr.clone()));
+                }
+                None => out.push(c.clone()),
+            }
+        }
+        BasicMap {
+            in_space: self.in_space.clone(),
+            out_space: self.out_space.clone(),
+            constraints: out,
+        }
+    }
+
     /// Restricts the domain to a set.
     pub fn intersect_domain(&self, set: &BasicSet) -> BasicMap {
         assert!(

@@ -154,6 +154,28 @@ impl Map {
         }
     }
 
+    /// Relation difference `self ∖ other`.
+    pub fn subtract(&self, other: &Map) -> Map {
+        assert!(
+            self.in_space.compatible(other.in_space())
+                && self.out_space.compatible(other.out_space()),
+            "subtracting incompatible relations"
+        );
+        let mut current: Vec<BasicMap> = self.parts.clone();
+        for b in &other.parts {
+            let mut next = Vec::new();
+            for a in &current {
+                next.extend(a.subtract(b).parts().iter().cloned());
+            }
+            current = next;
+        }
+        Map {
+            in_space: self.in_space.clone(),
+            out_space: self.out_space.clone(),
+            parts: current,
+        }
+    }
+
     /// Restricts the domain.
     pub fn intersect_domain(&self, set: &Set) -> Map {
         let mut parts = Vec::new();

@@ -16,7 +16,7 @@ fn p(name: &str) -> Poly {
     Poly::param(name)
 }
 
-/// C[i][j] += A[i][k] * B[k][j]  (plus the beta*C initialisation).
+/// `C[i][j] += A[i][k] * B[k][j]` (plus the `beta*C` initialisation).
 pub fn gemm() -> Kernel {
     let dfg = Dfg::builder()
         .input("A", "[Ni, Nk] -> { A[i, k] : 0 <= i < Ni and 0 <= k < Nk }")
@@ -154,7 +154,7 @@ pub fn three_mm() -> Kernel {
     }
 }
 
-/// C[i][j] += A[i][k] * A[j][k] for j <= i (rank-k update on the lower triangle).
+/// `C[i][j] += A[i][k] * A[j][k]` for `j <= i` (rank-k update on the lower triangle).
 pub fn syrk() -> Kernel {
     let dfg = Dfg::builder()
         .input("A", "[N, M] -> { A[i, k] : 0 <= i < N and 0 <= k < M }")
@@ -186,7 +186,7 @@ pub fn syrk() -> Kernel {
     }
 }
 
-/// C[i][j] += A[i][k]*B[j][k] + B[i][k]*A[j][k] for j <= i.
+/// `C[i][j] += A[i][k]*B[j][k] + B[i][k]*A[j][k]` for `j <= i`.
 pub fn syr2k() -> Kernel {
     let dfg = Dfg::builder()
         .input("A", "[N, M] -> { A[i, k] : 0 <= i < N and 0 <= k < M }")
@@ -219,7 +219,7 @@ pub fn syr2k() -> Kernel {
     }
 }
 
-/// B[i][j] += A[k][i] * B[k][j] for k > i (triangular matrix multiply).
+/// `B[i][j] += A[k][i] * B[k][j]` for `k > i` (triangular matrix multiply).
 pub fn trmm() -> Kernel {
     let dfg = Dfg::builder()
         .input("A", "[M] -> { A[k, i] : 0 <= i < M and i < k < M }")
@@ -284,7 +284,7 @@ pub fn symm() -> Kernel {
     }
 }
 
-/// sum[r][q][p] += A[r][q][s] * C4[s][p]  — a batched matrix product.
+/// `sum[r][q][p] += A[r][q][s] * C4[s][p]` — a batched matrix product.
 pub fn doitgen() -> Kernel {
     // The fully parallel batch dimensions r and q are fused into a single
     // dimension rq of extent Nr·Nq (they carry no reuse), which keeps the
@@ -578,7 +578,7 @@ pub fn gesummv() -> Kernel {
     }
 }
 
-/// Forward substitution x[i] = (b[i] − Σ_{j<i} L[i][j]x[j]) / L[i][i].
+/// Forward substitution `x[i] = (b[i] − Σ_{j<i} L[i][j]x[j]) / L[i][i]`.
 pub fn trisolv() -> Kernel {
     let dfg = Dfg::builder()
         .input("L", "[N] -> { L[i, j] : 0 <= i < N and 0 <= j <= i }")

@@ -11,7 +11,12 @@
 //!   summation, asymptotic simplification);
 //! * [`poly`] — parametric integer sets/relations with symbolic counting and
 //!   an ISL-like notation parser;
-//! * [`ir`] — a small polyhedral program IR lowered to data-flow graphs;
+//! * [`frontend`] — the affine-C (`.iolb`) language: parser, semantic checks
+//!   and lowering, so arbitrary user programs can be analysed (the `iolb`
+//!   CLI in `crates/cli` drives it);
+//! * [`ir`] — a small polyhedral program IR lowered to data-flow graphs,
+//!   including generalized value-based flow-dependence analysis
+//!   ([`ir::dataflow`]);
 //! * [`dfg`] — data-flow graphs, DFG-path generation and classification;
 //! * [`core`] — the IOLB analysis itself (K-partition and wavefront bounds,
 //!   CDAG decomposition, the Algorithm-6 driver, OI bounds and reports);
@@ -32,6 +37,23 @@
 //! assert_eq!(analysis.q_asymptotic().to_string(), "2*Ni*Nj*Nk*S^(-1/2)");
 //! let oi = OiSummary::from_analysis(&analysis, Some(gemm.ops.clone())).unwrap();
 //! assert_eq!(oi.oi_up.unwrap().to_string(), "S^(1/2)");
+//! ```
+//!
+//! Arbitrary affine programs enter through the affine-C front end (or the
+//! `iolb` CLI: `iolb analyze file.iolb`):
+//!
+//! ```
+//! use iolb::prelude::*;
+//!
+//! let program = iolb::frontend::compile(
+//!     "parameter N; double A[N]; double s;\n\
+//!      for (i = 0; i < N; i++) s += A[i];",
+//! )
+//! .unwrap();
+//! let dfg = program.to_dfg().unwrap();
+//! let analysis = analyze(&dfg, &AnalysisOptions::with_default_instance(&["N"], 1000, 128));
+//! // A dot-product-style reduction is bandwidth-bound: Q ≥ input size.
+//! assert_eq!(analysis.q_asymptotic().to_string(), "N");
 //! ```
 //!
 //! ## Engine architecture: interning, caching, parallel driver
@@ -72,6 +94,7 @@ pub use iolb_cachesim as cachesim;
 pub use iolb_cdag as cdag;
 pub use iolb_core as core;
 pub use iolb_dfg as dfg;
+pub use iolb_frontend as frontend;
 pub use iolb_ir as ir;
 pub use iolb_math as math;
 pub use iolb_poly as poly;
