@@ -8,8 +8,8 @@
 //! `--features full-suite` to time all 30 PolyBench kernels.
 
 use iolb_bench::harness::bench;
-use iolb_core::analyze;
-use iolb_poly::{count, fm, Context};
+use iolb_core::Analyzer;
+use iolb_poly::{count, fm, Context, EngineCtx};
 
 fn kernel_names() -> Vec<&'static str> {
     if cfg!(feature = "full-suite") {
@@ -34,11 +34,11 @@ fn analysis_time() {
     for name in kernel_names() {
         let kernel = iolb_polybench::kernel_by_name(name).expect("known kernel");
         bench(name, 10, || {
-            // Measure cold analysis cost: the query cache is process-global
-            // and would otherwise answer every sample from the warm-up run.
-            iolb_poly::cache::clear();
-            let analysis = analyze(&kernel.dfg, &kernel.analysis_options());
-            analysis.q_low.to_string()
+            // Measure cold analysis cost: every sample runs in a fresh
+            // engine session (otherwise the warm cache would answer
+            // everything after the warm-up run).
+            let outcome = Analyzer::new().analyze(&kernel).expect("kernel prepares");
+            outcome.analysis().q_low.to_string()
         });
     }
 }
@@ -57,6 +57,7 @@ fn fm_projection_micro() {
             "[N] -> { S3[k, i, j] : 0 <= k < N and k + 1 <= i < N and k + 1 <= j <= i }",
         ),
     ];
+    let engine = EngineCtx::current();
     for (label, text) in cases {
         let set = iolb_poly::parse_set(text).expect("parsable domain");
         let constraints = set.constraints().to_vec();
@@ -64,7 +65,7 @@ fn fm_projection_micro() {
         bench(&format!("project {label}"), 200, || {
             let mut cur = constraints.clone();
             for idx in (0..dim).rev() {
-                cur = fm::eliminate_var(&cur, idx);
+                cur = fm::eliminate_var_in(&engine, &cur, idx);
             }
             cur.len()
         });
@@ -89,11 +90,12 @@ fn count_micro() {
             "[N] -> { S3[k, i, j] : 0 <= k < N and k + 1 <= i < N and k + 1 <= j <= i }",
         ),
     ];
+    let engine = EngineCtx::current();
     for (label, text) in cases {
         let set = iolb_poly::parse_set(text).expect("parsable domain");
         bench(&format!("count {label}"), 50, || {
-            iolb_poly::cache::clear();
-            count::card_basic(&set, &ctx).map(|p| p.to_string())
+            engine.clear_cache();
+            count::card_basic_in(&engine, &set, &ctx).map(|p| p.to_string())
         });
     }
 }

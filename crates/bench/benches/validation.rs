@@ -4,7 +4,7 @@
 
 use iolb_bench::harness::bench;
 use iolb_cdag::{simulate_topological, Cdag};
-use iolb_core::analyze;
+use iolb_core::Analyzer;
 
 fn main() {
     println!("== validation ==");
@@ -14,9 +14,10 @@ fn main() {
         let cdag = Cdag::instantiate(&kernel.dfg, &params, 8);
         simulate_topological(&cdag, 16)
     });
-    let analysis = analyze(&kernel.dfg, &kernel.analysis_options());
+    let outcome = Analyzer::new().analyze(&kernel).expect("gemm prepares");
     bench("gemm_bound_evaluation", 10, || {
-        analysis
+        outcome
+            .analysis()
             .q_low
             .eval_params(&[("Ni", 6), ("Nj", 6), ("Nk", 6), ("S", 16)])
     });

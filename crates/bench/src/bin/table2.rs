@@ -2,13 +2,14 @@
 //! lower-bound formula produced by the analysis and its asymptotic
 //! simplification.
 
-use iolb_core::{analyze, Report};
+use iolb_core::Analyzer;
 
 fn main() {
     println!("Table 2 — complete and asymptotic lower-bound formulae");
     for kernel in iolb_polybench::all_kernels() {
-        let analysis = analyze(&kernel.dfg, &kernel.analysis_options());
-        let report = Report::new(kernel.name, analysis, Some(kernel.ops.clone()));
+        // One engine session per kernel: rows are independent measurements.
+        let outcome = Analyzer::new().analyze(&kernel).expect("kernel prepares");
+        let report = &outcome.report;
         println!("== {} ==", kernel.name);
         println!("  Q_low      = {}", report.analysis.q_low);
         println!("  Q_low (∞)  = {}", report.analysis.q_asymptotic());

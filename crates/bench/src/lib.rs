@@ -9,7 +9,7 @@
 pub mod harness;
 pub mod perf;
 
-use iolb_core::{analyze, OiSummary, Report};
+use iolb_core::{AnalysisOutcome, Analyzer, OiSummary, Report};
 use iolb_polybench::Kernel;
 
 /// The machine balance of Sec. 8.2 (flops per word for L2/L3 transfers on a
@@ -20,7 +20,6 @@ pub const MACHINE_BALANCE: f64 = 8.0;
 pub const CACHE_WORDS: i128 = 32_768;
 
 /// One row of the per-kernel evaluation.
-#[derive(Debug)]
 pub struct KernelRow {
     /// Kernel name.
     pub name: &'static str,
@@ -32,20 +31,42 @@ pub struct KernelRow {
     pub oi_manual: f64,
     /// Our OI upper bound at the LARGE instance (`#ops / Q_low`).
     pub our_oi_up: Option<f64>,
+    /// The engine-session statistics of this kernel's run (each kernel is
+    /// analysed in its own fresh session, so the counters and hit rates are
+    /// attributable to the kernel alone).
+    pub stats: iolb_poly::stats::Snapshot,
+    /// Memoized query results resident in the session after the run.
+    pub cache_entries: usize,
 }
 
-/// Analyses one kernel and assembles its evaluation row.
+/// Analyses one kernel in a fresh engine session (tuned options) and
+/// assembles its evaluation row.
 pub fn evaluate_kernel(kernel: &Kernel) -> KernelRow {
-    evaluate_kernel_opts(kernel, &kernel.analysis_options())
+    row_from_outcome(
+        kernel,
+        Analyzer::new()
+            .analyze(kernel)
+            .expect("built-in kernel prepares"),
+    )
 }
 
-fn evaluate_kernel_opts(kernel: &Kernel, options: &iolb_core::AnalysisOptions) -> KernelRow {
-    let analysis = analyze(&kernel.dfg, options);
-    let report = Report::new(kernel.name, analysis, Some(kernel.ops.clone()));
+/// Like [`evaluate_kernel`] but with the per-kernel driver forced serial
+/// (used when an outer fan-out already saturates the machine).
+pub fn evaluate_kernel_serial(kernel: &Kernel) -> KernelRow {
+    row_from_outcome(
+        kernel,
+        Analyzer::new()
+            .parallel(false)
+            .analyze(kernel)
+            .expect("built-in kernel prepares"),
+    )
+}
+
+fn row_from_outcome(kernel: &Kernel, outcome: AnalysisOutcome) -> KernelRow {
     let instance = kernel.large_instance();
     let env = instance.as_f64_env();
     let s = CACHE_WORDS as f64;
-    let our_oi_up = report.oi.as_ref().and_then(|oi: &OiSummary| {
+    let our_oi_up = outcome.report.oi.as_ref().and_then(|oi: &OiSummary| {
         let pairs: Vec<(String, i128)> = instance.as_param_slice();
         let borrowed: Vec<(&str, i128)> = pairs.iter().map(|(k, v)| (k.as_str(), *v)).collect();
         oi.oi_at(&borrowed)
@@ -55,22 +76,21 @@ fn evaluate_kernel_opts(kernel: &Kernel, options: &iolb_core::AnalysisOptions) -
         paper_oi_up: (kernel.paper_oi_up)(s, &env),
         oi_manual: (kernel.oi_manual)(s, &env),
         our_oi_up,
-        report,
+        stats: outcome.stats,
+        cache_entries: outcome.cache_entries,
+        report: outcome.report,
     }
 }
 
 /// Analyses the whole suite. Kernels are analysed in parallel (they are
-/// independent); rows come back in suite order. The per-kernel driver runs
-/// serially here — the outer per-kernel fan-out already saturates the
-/// machine, and nesting `analyze`'s own thread pool on top would spawn up to
-/// cores² compute-bound threads.
+/// independent), each in its **own engine session**; rows come back in
+/// suite order. The per-kernel driver runs serially here — the outer
+/// per-kernel fan-out already saturates the machine, and nesting the
+/// driver's own thread pool on top would spawn up to cores² compute-bound
+/// threads.
 pub fn evaluate_suite() -> Vec<KernelRow> {
     let kernels = iolb_polybench::all_kernels();
-    iolb_core::par::parallel_map(&kernels, |kernel| {
-        let mut options = kernel.analysis_options();
-        options.parallel = false;
-        evaluate_kernel_opts(kernel, &options)
-    })
+    iolb_core::par::parallel_map(&kernels, evaluate_kernel_serial)
 }
 
 #[cfg(test)]

@@ -4,19 +4,40 @@
 //!
 //! This is the library form of the `perf_report` binary; the `iolb bench`
 //! CLI subcommand drives the same code.
+//!
+//! Each kernel is analysed in its **own engine session** (fresh cache, fresh
+//! counters), so its row — wall-clock, operation counts and cache hit rates
+//! — is an attributable cost, not a function of which kernels happened to
+//! run before it. The JSON records the per-session cache hit rates per
+//! kernel and the summed counters for the whole suite.
 
-use crate::evaluate_kernel;
+use crate::{evaluate_kernel, KernelRow};
+use iolb_poly::stats::Snapshot;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+/// One kernel's perf row.
+pub struct PerfRow {
+    /// Kernel name.
+    pub name: String,
+    /// Wall-clock seconds for the kernel's whole request: session setup,
+    /// in-session workload preparation (rebuilding the kernel's DFG from
+    /// its ISL-notation sources), and the analysis itself — the cost a
+    /// service would pay to serve the kernel cold.
+    pub seconds: f64,
+    /// The session's engine counters after the run.
+    pub stats: Snapshot,
+    /// Memoized query results resident in the session after the run.
+    pub cache_entries: usize,
+}
+
 /// The result of a perf run.
 pub struct PerfRun {
-    /// Per-kernel (name, wall-clock seconds), in suite order.
-    pub rows: Vec<(String, f64)>,
+    /// Per-kernel rows, in suite order.
+    pub rows: Vec<PerfRow>,
     /// Whole-run wall-clock in seconds.
     pub total_seconds: f64,
-    /// Engine-operation counters accumulated over the run
-    /// (`iolb_poly::stats`).
+    /// Engine-operation counters summed over every per-kernel session.
     pub counters: Vec<(&'static str, u64)>,
     /// The JSON document (the `BENCH_analysis.json` payload).
     pub json: String,
@@ -27,46 +48,63 @@ pub struct PerfRun {
 
 /// Analyses the suite (optionally filtered by kernel name), printing one
 /// line per kernel, and assembles the JSON record.
-///
-/// Each kernel starts cache-cold so its row is an attributable cost, not a
-/// function of which kernels happened to run before it.
 pub fn run(filter: &[String]) -> PerfRun {
     let mut kernels = iolb_polybench::all_kernels();
     if !filter.is_empty() {
         kernels.retain(|k| filter.iter().any(|f| f == k.name));
     }
     let full_suite = filter.is_empty();
-    let mut rows: Vec<(String, f64)> = Vec::new();
+    let mut rows: Vec<PerfRow> = Vec::new();
 
-    iolb_poly::stats::reset();
     let suite_start = Instant::now();
     for kernel in kernels {
-        iolb_poly::cache::clear();
         let start = Instant::now();
-        let row = evaluate_kernel(&kernel);
+        let row: KernelRow = evaluate_kernel(&kernel);
         let secs = start.elapsed().as_secs_f64();
         let oi = row.our_oi_up.unwrap_or(f64::NAN);
         println!("{:<18} {:>8.3}s  OI_up = {:.2}", kernel.name, secs, oi);
-        rows.push((kernel.name.to_string(), secs));
+        rows.push(PerfRow {
+            name: kernel.name.to_string(),
+            seconds: secs,
+            stats: row.stats,
+            cache_entries: row.cache_entries,
+        });
     }
     let total_seconds = suite_start.elapsed().as_secs_f64();
-    let stats = iolb_poly::stats::snapshot();
+
+    // Suite totals: sum of the per-session counters.
+    let mut totals: Vec<(&'static str, u64)> = Vec::new();
+    for row in &rows {
+        for (i, (key, value)) in row.stats.as_pairs().into_iter().enumerate() {
+            if totals.len() <= i {
+                totals.push((key, 0));
+            }
+            totals[i].1 += value;
+        }
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"suite_wall_clock_seconds\": {total_seconds:.6},");
-    json.push_str("  \"per_kernel_cache\": \"cold (cache cleared before each kernel)\",\n");
+    json.push_str(
+        "  \"per_kernel_cache\": \"cold (each kernel runs in its own engine session)\",\n",
+    );
     let _ = writeln!(json, "  \"kernel_count\": {},", rows.len());
     json.push_str("  \"kernels\": {\n");
-    for (i, (name, secs)) in rows.iter().enumerate() {
+    for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(json, "    \"{name}\": {secs:.6}{comma}");
+        let _ = writeln!(json, "    \"{}\": {{", row.name);
+        let _ = writeln!(json, "      \"seconds\": {:.6},", row.seconds);
+        for (key, rate) in row.stats.hit_rates() {
+            let _ = writeln!(json, "      \"{key}\": {rate:.6},");
+        }
+        let _ = writeln!(json, "      \"cache_entries\": {}", row.cache_entries);
+        let _ = writeln!(json, "    }}{comma}");
     }
     json.push_str("  },\n");
     json.push_str("  \"engine_counters\": {\n");
-    let counters = stats.as_pairs();
-    for (i, (key, value)) in counters.iter().enumerate() {
-        let comma = if i + 1 < counters.len() { "," } else { "" };
+    for (i, (key, value)) in totals.iter().enumerate() {
+        let comma = if i + 1 < totals.len() { "," } else { "" };
         let _ = writeln!(json, "    \"{key}\": {value}{comma}");
     }
     json.push_str("  }\n");
@@ -75,7 +113,7 @@ pub fn run(filter: &[String]) -> PerfRun {
     PerfRun {
         rows,
         total_seconds,
-        counters,
+        counters: totals,
         json,
         full_suite,
     }

@@ -17,7 +17,8 @@
 #![warn(missing_docs)]
 
 use iolb_core::report::json_escape;
-use iolb_core::{analyze, AnalysisOptions, Instance, Report};
+use iolb_core::Analyzer;
+use iolb_frontend::IolbFile;
 
 /// A CLI failure: a message for stderr (the process exits non-zero).
 #[derive(Debug)]
@@ -48,16 +49,22 @@ USAGE:
     iolb help                            show this text
 
 ANALYZE OPTIONS:
-    --json               emit the report as JSON instead of text
+    --json               emit the report (plus per-session engine stats) as
+                         JSON instead of text
     --param NAME=VALUE   parameter value for the combination heuristics
                          (default: 2000 for every program parameter; bounds
                          that evaluate trivially at this instance are dropped,
                          so pick values of the intended order of magnitude)
     --cache-size WORDS   fast-memory capacity S in words (default: 32768,
                          i.e. 256 kB of doubles)
+    --cache-cap ENTRIES  total capacity of the session's memoization cache
+                         (default: 3145728 entries; 0 disables storage)
     --depth D            maximum loop-parametrization depth (default: 0;
                          built-in kernels use their tuned depth)
     --serial             disable the parallel driver
+
+Every `analyze` run executes in its own engine session: caches and
+statistics are isolated from concurrent runs and freed on exit.
 ";
 
 /// Parsed `analyze` options.
@@ -68,6 +75,8 @@ struct AnalyzeArgs {
     /// `Some` only when the user passed `--cache-size` (built-in kernels
     /// keep their tuned S otherwise).
     cache_size: Option<i128>,
+    /// Session memoization-cache capacity (`--cache-cap`).
+    cache_cap: Option<usize>,
     depth: Option<usize>,
     serial: bool,
 }
@@ -99,6 +108,7 @@ fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, CliError> {
     let mut json = false;
     let mut params = Vec::new();
     let mut cache_size = None;
+    let mut cache_cap = None;
     let mut depth = None;
     let mut serial = false;
     let mut it = args.iter();
@@ -138,6 +148,15 @@ fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, CliError> {
                         .map_err(|_| err(format!("malformed --cache-size `{v}`")))?,
                 );
             }
+            "--cache-cap" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("--cache-cap requires an entry count"))?;
+                cache_cap = Some(
+                    v.parse()
+                        .map_err(|_| err(format!("malformed --cache-cap `{v}`")))?,
+                );
+            }
             "--depth" => {
                 let v = it.next().ok_or_else(|| err("--depth requires a number"))?;
                 depth = Some(
@@ -162,90 +181,57 @@ fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, CliError> {
         json,
         params,
         cache_size,
+        cache_cap,
         depth,
         serial,
     })
 }
 
-/// Analysis options for a user program: the same shape as the built-in
-/// kernels' tuned options (context assumes moderately large sizes, the
-/// heuristic instance defaults every parameter to 2000 — the order of
-/// magnitude of the PolyBench LARGE datasets, so non-trivial sub-bounds
-/// survive the Sec. 7.2 combination heuristics).
-fn user_options(args: &AnalyzeArgs, program_params: &[String]) -> AnalysisOptions {
-    let mut options = AnalysisOptions {
-        max_parametrization_depth: args.depth.unwrap_or(0),
-        parallel: !args.serial,
-        ..AnalysisOptions::default()
-    };
-    let mut ctx = iolb_poly::Context::empty();
-    let mut instance = Instance::new().set("S", args.cache_size.unwrap_or(32_768));
-    for p in program_params {
-        ctx = ctx.assume_ge(p, 8);
-        let value = args
-            .params
-            .iter()
-            .find(|(n, _)| n == p)
-            .map(|(_, v)| *v)
-            .unwrap_or(2000);
-        instance = instance.set(p, value);
+/// Builds the [`Analyzer`] for an `analyze` invocation: one fresh engine
+/// session per run, with every CLI override routed through the builder.
+/// File targets get the generic user-program defaults (context assumes
+/// moderately large sizes, the heuristic instance defaults every parameter
+/// to 2000 — the order of magnitude of the PolyBench LARGE datasets, so
+/// non-trivial sub-bounds survive the Sec. 7.2 combination heuristics);
+/// kernel targets keep their tuned options unless overridden.
+fn analyzer_for(args: &AnalyzeArgs) -> Analyzer {
+    let mut analyzer = Analyzer::new().parallel(!args.serial);
+    if let Some(cap) = args.cache_cap {
+        analyzer = analyzer.cache_capacity(cap);
     }
-    options.ctx = ctx;
-    options.instances = vec![instance];
-    options
+    if let Some(depth) = args.depth {
+        analyzer = analyzer.max_parametrization_depth(depth);
+    } else if matches!(args.target, Target::File(_)) {
+        analyzer = analyzer.max_parametrization_depth(0);
+    }
+    if let Some(s) = args.cache_size {
+        analyzer = analyzer.cache_size(s);
+    }
+    for (name, value) in &args.params {
+        analyzer = analyzer.param(name.clone(), *value);
+    }
+    analyzer
 }
 
 fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     let args = parse_analyze_args(args)?;
-    let report = match &args.target {
-        Target::File(path) => {
-            let src = std::fs::read_to_string(path)
-                .map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
-            let program = iolb_frontend::compile(&src).map_err(|e| err(format!("{path}:{e}")))?;
-            let dfg = program.to_dfg().map_err(|e| err(format!("{path}: {e}")))?;
-            let options = user_options(&args, program.params());
-            let analysis = analyze(&dfg, &options);
-            let name = std::path::Path::new(path)
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
-                .unwrap_or_else(|| path.clone());
-            Report::new(&name, analysis, None)
-        }
+    let analyzer = analyzer_for(&args);
+    let outcome = match &args.target {
+        Target::File(path) => analyzer.analyze(&IolbFile::new(path)),
         Target::Kernel(kname) => {
             let kernel = iolb_polybench::kernel_by_name(kname).ok_or_else(|| {
                 err(format!(
                     "unknown kernel `{kname}` (see `iolb kernels` for the list)"
                 ))
             })?;
-            let mut options = kernel.analysis_options();
-            if let Some(d) = args.depth {
-                options.max_parametrization_depth = d;
-            }
-            options.parallel = !args.serial;
-            // --cache-size / --param override the kernel's tuned instance.
-            if args.cache_size.is_some() || !args.params.is_empty() {
-                options.instances = options
-                    .instances
-                    .into_iter()
-                    .map(|mut inst| {
-                        if let Some(s) = args.cache_size {
-                            inst = inst.set("S", s);
-                        }
-                        for (name, value) in &args.params {
-                            inst = inst.set(name, *value);
-                        }
-                        inst
-                    })
-                    .collect();
-            }
-            let analysis = analyze(&kernel.dfg, &options);
-            Report::new(kernel.name, analysis, Some(kernel.ops.clone()))
+            analyzer.analyze(&kernel)
         }
-    };
+    }
+    .map_err(|e| err(e.to_string()))?;
     if args.json {
-        Ok(report.to_json())
+        Ok(outcome.to_json())
     } else {
-        Ok(report.to_string())
+        Ok(outcome.report.to_string())
     }
 }
 

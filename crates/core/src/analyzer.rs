@@ -1,0 +1,416 @@
+//! The [`Analyzer`]: the builder-style, session-scoped entry point of the
+//! analysis.
+//!
+//! Where [`crate::analyze`] is the bare Algorithm-6 kernel (DFG + options in,
+//! [`Analysis`] out, engine state taken from the ambient session), the
+//! `Analyzer` owns the whole lifecycle of one analysis request, the way a
+//! long-running service needs it:
+//!
+//! 1. it creates (or [reuses](Analyzer::engine)) an engine **session**
+//!    ([`EngineCtx`]) with configurable capacities, so concurrent requests
+//!    share no cache or statistics;
+//! 2. it prepares the [`Workload`] *inside* that session, so every
+//!    polyhedral object is bound to it;
+//! 3. it derives the [`AnalysisOptions`] — workload-tuned defaults when the
+//!    workload carries them, sensible generic defaults otherwise — and
+//!    applies the builder's overrides;
+//! 4. it runs the driver and packages the result as an
+//!    [`AnalysisOutcome`]: the [`Analysis`], the versioned [`Report`], the
+//!    per-session engine statistics, and the session itself (keep it to run
+//!    follow-up analyses cache-warm).
+//!
+//! ```
+//! use iolb_core::Analyzer;
+//! use iolb_dfg::Dfg;
+//!
+//! let outcome = Analyzer::new()
+//!     .cache_capacity(1 << 16)
+//!     .parallel(false)
+//!     .analyze_with(|| {
+//!         Dfg::builder()
+//!             .input("X", "[N] -> { X[i] : 0 <= i < N }")
+//!             .statement("S", "[N] -> { S[i] : 0 <= i < N }")
+//!             .edge("X", "S", "[N] -> { X[i] -> S[i2] : i2 = i and 0 <= i < N }")
+//!             .build()
+//!             .unwrap()
+//!     })
+//!     .unwrap();
+//! assert_eq!(outcome.analysis().q_asymptotic().to_string(), "N");
+//! assert!(outcome.stats.FEASIBILITY_CHECKS > 0);
+//! ```
+
+use crate::bound::Instance;
+use crate::driver::{analyze, Analysis, AnalysisOptions};
+use crate::report::Report;
+use crate::workload::{PreparedWorkload, Workload, WorkloadError};
+use iolb_poly::{stats::Snapshot, EngineConfig, EngineCtx};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Builder for one analysis request. See the [module docs](self).
+#[derive(Clone, Default)]
+pub struct Analyzer {
+    engine: Option<Arc<EngineCtx>>,
+    cache_capacity: Option<usize>,
+    cache_enabled: Option<bool>,
+    parallel: Option<bool>,
+    depth: Option<usize>,
+    cache_param: Option<String>,
+    cache_size: Option<i128>,
+    param_values: Vec<(String, i128)>,
+    assumptions: Vec<(String, i128)>,
+    options_override: Option<AnalysisOptions>,
+}
+
+impl Analyzer {
+    /// A fresh analyzer with default settings (new session per call, tuned
+    /// or derived options, parallel driver as the options dictate).
+    pub fn new() -> Self {
+        Analyzer::default()
+    }
+
+    /// Runs the analysis in an existing session instead of a fresh one
+    /// (reuses its warm cache; required when the workload holds polyhedral
+    /// objects built in that session). [`Analyzer::cache_capacity`] cannot
+    /// apply retroactively and is ignored for a reused session;
+    /// [`Analyzer::cache_enabled`] *is* applied to it.
+    pub fn engine(mut self, engine: Arc<EngineCtx>) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Total query-cache capacity (entries) for the session this analyzer
+    /// creates. Ignored when [`Analyzer::engine`] supplies a session.
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.cache_capacity = Some(entries);
+        self
+    }
+
+    /// Enables or disables the session's query cache (default: enabled).
+    pub fn cache_enabled(mut self, enabled: bool) -> Self {
+        self.cache_enabled = Some(enabled);
+        self
+    }
+
+    /// Forces the parallel (or serial) driver, overriding the workload's
+    /// tuned options.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = Some(parallel);
+        self
+    }
+
+    /// Maximum loop-parametrization depth, overriding the tuned options.
+    pub fn max_parametrization_depth(mut self, depth: usize) -> Self {
+        self.depth = Some(depth);
+        self
+    }
+
+    /// Renames the fast-memory capacity parameter (default `"S"`). The
+    /// heuristic instances are re-keyed accordingly.
+    pub fn cache_param(mut self, name: impl Into<String>) -> Self {
+        self.cache_param = Some(name.into());
+        self
+    }
+
+    /// Fast-memory capacity (in words) for the heuristic instances.
+    pub fn cache_size(mut self, words: i128) -> Self {
+        self.cache_size = Some(words);
+        self
+    }
+
+    /// Sets a program-parameter value on the heuristic instances (Sec. 7.2).
+    pub fn param(mut self, name: impl Into<String>, value: i128) -> Self {
+        self.param_values.push((name.into(), value));
+        self
+    }
+
+    /// Adds a context assumption `name ≥ value` for symbolic counting.
+    pub fn assume_ge(mut self, name: impl Into<String>, value: i128) -> Self {
+        self.assumptions.push((name.into(), value));
+        self
+    }
+
+    /// Replaces the derived options wholesale (advanced; the other builder
+    /// knobs still apply on top). **Session binding applies** to the
+    /// options' context constraints — build them in the session given to
+    /// [`Analyzer::engine`], or prefer the plain-data knobs.
+    pub fn options(mut self, options: AnalysisOptions) -> Self {
+        self.options_override = Some(options);
+        self
+    }
+
+    /// Generic defaults for a user program over `params`: every parameter
+    /// is assumed `≥ 8` and the heuristic instance sets it to 2000 (the
+    /// order of magnitude of the PolyBench LARGE datasets, so non-trivial
+    /// sub-bounds survive the Sec. 7.2 combination heuristics) with a
+    /// 32768-word fast memory (256 kB of doubles).
+    pub fn default_options_for(params: &[String]) -> AnalysisOptions {
+        let mut options = AnalysisOptions {
+            max_parametrization_depth: 0,
+            ..AnalysisOptions::default()
+        };
+        let mut ctx = iolb_poly::Context::empty();
+        let mut instance = Instance::new().set(&options.cache_param, 32_768);
+        for p in params {
+            ctx = ctx.assume_ge(p, 8);
+            instance = instance.set(p, 2000);
+        }
+        options.ctx = ctx;
+        options.instances = vec![instance];
+        options
+    }
+
+    /// Analyses a workload: prepares it inside the session, resolves the
+    /// options, runs the driver, and packages the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WorkloadError`] from [`Workload::prepare`] (file I/O,
+    /// front-end, lowering, …); the analysis itself is total.
+    pub fn analyze<W: Workload + ?Sized>(
+        &self,
+        workload: &W,
+    ) -> Result<AnalysisOutcome, WorkloadError> {
+        let engine = match &self.engine {
+            Some(engine) => {
+                if let Some(enabled) = self.cache_enabled {
+                    engine.set_cache_enabled(enabled);
+                }
+                engine.clone()
+            }
+            None => EngineCtx::with_config(EngineConfig {
+                cache_capacity: self
+                    .cache_capacity
+                    .unwrap_or_else(|| EngineConfig::default().cache_capacity),
+                cache_enabled: self.cache_enabled.unwrap_or(true),
+                ..EngineConfig::default()
+            }),
+        };
+        engine.clone().scope(|| {
+            let stats_before = engine.stats();
+            let prepared = workload.prepare()?;
+            let options = self.resolve_options(&prepared);
+            let start = Instant::now();
+            let analysis = analyze(&prepared.dfg, &options);
+            let elapsed = start.elapsed();
+            let report = Report::new(&prepared.name, analysis, prepared.ops);
+            Ok(AnalysisOutcome {
+                report,
+                stats: engine.stats().delta_since(&stats_before),
+                cache_entries: engine.cache_len(),
+                elapsed,
+                engine: engine.clone(),
+            })
+        })
+    }
+
+    /// Analyses a DFG built **inside** the analysis session by `build` —
+    /// the safe way to analyse hand-assembled DFGs without managing the
+    /// session yourself.
+    pub fn analyze_with(
+        &self,
+        build: impl FnOnce() -> iolb_dfg::Dfg,
+    ) -> Result<AnalysisOutcome, WorkloadError> {
+        struct Builder<F>(std::cell::RefCell<Option<F>>);
+        impl<F: FnOnce() -> iolb_dfg::Dfg> Workload for Builder<F> {
+            fn prepare(&self) -> Result<PreparedWorkload, WorkloadError> {
+                let build = self
+                    .0
+                    .borrow_mut()
+                    .take()
+                    .ok_or_else(|| WorkloadError::new("DFG builder already consumed"))?;
+                build().prepare()
+            }
+        }
+        self.analyze(&Builder(std::cell::RefCell::new(Some(build))))
+    }
+
+    /// Applies defaults and builder overrides to produce the final options.
+    fn resolve_options(&self, prepared: &PreparedWorkload) -> AnalysisOptions {
+        let mut options = match (&self.options_override, &prepared.options) {
+            (Some(explicit), _) => explicit.clone(),
+            (None, Some(tuned)) => tuned.clone(),
+            (None, None) => Analyzer::default_options_for(&prepared.params),
+        };
+        if let Some(depth) = self.depth {
+            options.max_parametrization_depth = depth;
+        }
+        if let Some(parallel) = self.parallel {
+            options.parallel = parallel;
+        }
+        if let Some(cache_param) = &self.cache_param {
+            let old = options.cache_param.clone();
+            options.instances = options
+                .instances
+                .into_iter()
+                .map(|inst| inst.rename(&old, cache_param))
+                .collect();
+            options.cache_param = cache_param.clone();
+        }
+        if self.cache_size.is_some() || !self.param_values.is_empty() {
+            options.instances = options
+                .instances
+                .into_iter()
+                .map(|mut inst| {
+                    if let Some(s) = self.cache_size {
+                        inst = inst.set(&options.cache_param, s);
+                    }
+                    for (name, value) in &self.param_values {
+                        inst = inst.set(name, *value);
+                    }
+                    inst
+                })
+                .collect();
+        }
+        for (name, value) in &self.assumptions {
+            options.ctx = options.ctx.clone().assume_ge(name, *value);
+        }
+        options
+    }
+}
+
+/// Everything one analysis request produced: the analysis, the versioned
+/// report, the per-session engine statistics, and the session itself.
+pub struct AnalysisOutcome {
+    /// The reviewable report (text via `Display`, versioned JSON via
+    /// [`Report::to_json`]); owns the [`Analysis`].
+    pub report: Report,
+    /// Engine-operation counters for **this request only**: a delta over
+    /// the session's counters, so neither concurrent analyses in other
+    /// sessions nor earlier runs in a reused session inflate these numbers.
+    pub stats: Snapshot,
+    /// Memoized query results resident in the session after the run.
+    pub cache_entries: usize,
+    /// Wall-clock time of the driver run (excludes workload preparation).
+    pub elapsed: Duration,
+    engine: Arc<EngineCtx>,
+}
+
+impl AnalysisOutcome {
+    /// The underlying analysis (bounds, candidates, `Q_low`).
+    pub fn analysis(&self) -> &Analysis {
+        &self.report.analysis
+    }
+
+    /// The session the analysis ran in. Pass it to [`Analyzer::engine`] to
+    /// run follow-up analyses against the warm cache, or drop the outcome
+    /// to free all engine state.
+    pub fn engine(&self) -> &Arc<EngineCtx> {
+        &self.engine
+    }
+
+    /// The versioned JSON document for machine consumers: every
+    /// [`Report::to_json`] field (including `schema_version`) plus an
+    /// `engine_stats` object with the per-session counters, cache hit
+    /// rates, resident entry count and wall-clock.
+    pub fn to_json(&self) -> String {
+        let report = self.report.to_json();
+        // Splice the engine_stats object in before the closing brace.
+        let body = report
+            .trim_end()
+            .strip_suffix('}')
+            .expect("report JSON object")
+            .trim_end()
+            .to_string();
+        let mut out = body;
+        out.push_str(",\n  \"engine_stats\": {\n");
+        for (key, value) in self.stats.as_pairs() {
+            out.push_str(&format!("    \"{}\": {},\n", key.to_lowercase(), value));
+        }
+        for (key, value) in self.stats.hit_rates() {
+            out.push_str(&format!("    \"{key}\": {value:.6},\n"));
+        }
+        out.push_str(&format!("    \"cache_entries\": {},\n", self.cache_entries));
+        out.push_str(&format!(
+            "    \"wall_clock_seconds\": {:.6}\n",
+            self.elapsed.as_secs_f64()
+        ));
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn streaming_dfg() -> iolb_dfg::Dfg {
+        iolb_dfg::Dfg::builder()
+            .input("X", "[N] -> { X[i] : 0 <= i < N }")
+            .statement("S", "[N] -> { S[i] : 0 <= i < N }")
+            .edge("X", "S", "[N] -> { X[i] -> S[i2] : i2 = i and 0 <= i < N }")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_analyzes_and_reports_session_stats() {
+        let outcome = Analyzer::new()
+            .parallel(false)
+            .analyze_with(streaming_dfg)
+            .unwrap();
+        assert_eq!(outcome.analysis().q_asymptotic().to_string(), "N");
+        assert!(outcome.stats.FEASIBILITY_CHECKS > 0);
+        assert_eq!(outcome.report.kernel, "program");
+        let json = outcome.to_json();
+        assert!(json.contains("\"engine_stats\""), "{json}");
+        assert!(json.contains("\"schema_version\""), "{json}");
+    }
+
+    #[test]
+    fn sessions_are_reusable_and_warm() {
+        let first = Analyzer::new().analyze_with(streaming_dfg).unwrap();
+        let engine = first.engine().clone();
+        let second = Analyzer::new()
+            .engine(engine.clone())
+            .analyze_with(streaming_dfg)
+            .unwrap();
+        // Same session: the second run starts where the first left off and
+        // answers repeated queries from the warm cache.
+        assert!(second.stats.FEASIBILITY_CACHE_HITS > first.stats.FEASIBILITY_CACHE_HITS);
+        assert_eq!(
+            first.analysis().q_low.to_string(),
+            second.analysis().q_low.to_string()
+        );
+    }
+
+    #[test]
+    fn cache_capacity_and_toggle_reach_the_session() {
+        let outcome = Analyzer::new()
+            .cache_capacity(0)
+            .analyze_with(streaming_dfg)
+            .unwrap();
+        assert_eq!(outcome.cache_entries, 0);
+        let uncached = Analyzer::new()
+            .cache_enabled(false)
+            .analyze_with(streaming_dfg)
+            .unwrap();
+        assert_eq!(uncached.cache_entries, 0);
+        assert_eq!(uncached.stats.FEASIBILITY_CACHE_HITS, 0);
+        assert_eq!(
+            outcome.analysis().q_low.to_string(),
+            uncached.analysis().q_low.to_string(),
+            "cache configuration must never change the result"
+        );
+    }
+
+    #[test]
+    fn cache_param_override_rekeys_instances() {
+        let options = AnalysisOptions {
+            cache_param: "Cap".to_string(),
+            ..AnalysisOptions::default()
+        }
+        .with_instance_defaults(&["N"], 100, 64);
+        // The satellite fix: the instance key follows cache_param.
+        assert_eq!(options.instances[0].get("Cap"), Some(64));
+        assert_eq!(options.instances[0].get("S"), None);
+
+        // And the Analyzer's own override re-keys tuned instances.
+        let outcome = Analyzer::new()
+            .cache_param("Cap")
+            .cache_size(128)
+            .analyze_with(streaming_dfg)
+            .unwrap();
+        assert_eq!(outcome.analysis().cache_param, "Cap");
+    }
+}

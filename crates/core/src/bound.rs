@@ -115,6 +115,15 @@ impl Instance {
         self.values.get(name).copied()
     }
 
+    /// Moves the value stored under `from` (if any) to the key `to` — used
+    /// when the cache parameter is renamed so the instance keeps tracking it.
+    pub fn rename(mut self, from: &str, to: &str) -> Self {
+        if let Some(v) = self.values.remove(from) {
+            self.values.insert(to.to_string(), v);
+        }
+        self
+    }
+
     /// All `(name, value)` pairs.
     pub fn pairs(&self) -> Vec<(String, i128)> {
         self.values.iter().map(|(k, v)| (k.clone(), *v)).collect()

@@ -165,7 +165,8 @@ fn project_param(set: &BasicSet, param: &str) -> BasicSet {
             kind: c.kind,
         });
     }
-    let projected = iolb_poly::fm::eliminate_var(&constraints, n);
+    let projected =
+        iolb_poly::EngineCtx::with_current(|e| iolb_poly::fm::eliminate_var_in(e, &constraints, n));
     BasicSet::from_constraints(set.space().clone(), projected)
 }
 
@@ -232,9 +233,10 @@ pub fn input_size(dfg: &iolb_dfg::Dfg, ctx: &Context) -> Poly {
         // Fall back to counting each input array individually, skipping the
         // ones outside the countable class (conservative: under-counting the
         // compulsory misses keeps the bound valid).
+        let engine = iolb_poly::EngineCtx::current();
         let mut total = Poly::zero();
         for node in dfg.inputs() {
-            if let Some(c) = count::card_basic(&node.domain, ctx) {
+            if let Some(c) = count::card_basic_in(&engine, &node.domain, ctx) {
                 total = total + c;
             }
         }

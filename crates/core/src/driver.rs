@@ -66,17 +66,28 @@ impl AnalysisOptions {
     /// Creates options with a default instance where every listed parameter
     /// takes the given value and the cache parameter takes `cache_value`.
     pub fn with_default_instance(params: &[&str], value: i128, cache_value: i128) -> Self {
-        let mut inst = Instance::new().set("S", cache_value);
+        AnalysisOptions::default().with_instance_defaults(params, value, cache_value)
+    }
+
+    /// Fills in the default context and heuristic instance on top of `self`:
+    /// every listed parameter takes `value` (and is assumed `≥ 4`), and the
+    /// options' **own** [`cache_param`](AnalysisOptions::cache_param) — not a
+    /// hard-coded `"S"` — takes `cache_value`.
+    pub fn with_instance_defaults(
+        mut self,
+        params: &[&str],
+        value: i128,
+        cache_value: i128,
+    ) -> Self {
+        let mut inst = Instance::new().set(&self.cache_param, cache_value);
         let mut ctx = Context::empty();
         for p in params {
             inst = inst.set(p, value);
             ctx = ctx.assume_ge(p, 4);
         }
-        AnalysisOptions {
-            instances: vec![inst],
-            ctx,
-            ..AnalysisOptions::default()
-        }
+        self.instances = vec![inst];
+        self.ctx = ctx;
+        self
     }
 }
 
@@ -143,11 +154,6 @@ pub fn analyze(dfg: &Dfg, options: &AnalysisOptions) -> Analysis {
     let ctx = &options.ctx;
 
     // --- Combine the candidates (Algorithm 1). ---
-    let instance = options
-        .instances
-        .first()
-        .cloned()
-        .unwrap_or_else(|| Instance::from_pairs(&[("S", 512)]));
     let mut best_expr = Expr::zero();
     let mut best_accepted: Vec<usize> = Vec::new();
     let mut best_value = f64::NEG_INFINITY;
@@ -160,7 +166,6 @@ pub fn analyze(dfg: &Dfg, options: &AnalysisOptions) -> Analysis {
             best_accepted = accepted;
         }
     }
-    let _ = instance;
 
     let input = input_size(dfg, ctx);
     let q_low = Expr::from_poly(input.clone()) + best_expr.max_with_zero();
@@ -307,7 +312,7 @@ fn derive_candidates(
 
 fn instances_or_default(options: &AnalysisOptions) -> Vec<Instance> {
     if options.instances.is_empty() {
-        vec![Instance::from_pairs(&[("S", 512)])]
+        vec![Instance::new().set(&options.cache_param, 512)]
     } else {
         options.instances.clone()
     }
@@ -389,10 +394,11 @@ fn covers_gamma_fraction(
     options: &AnalysisOptions,
 ) -> bool {
     let (num, den) = options.gamma;
-    let Some(cand_card) = count::card_basic(candidate, ctx) else {
+    let engine = iolb_poly::EngineCtx::current();
+    let Some(cand_card) = count::card_basic_in(&engine, candidate, ctx) else {
         return !candidate.is_empty();
     };
-    let Some(full_card) = count::card_basic(full, ctx) else {
+    let Some(full_card) = count::card_basic_in(&engine, full, ctx) else {
         return !candidate.is_empty();
     };
     let env: std::collections::BTreeMap<String, f64> = full_card

@@ -29,6 +29,16 @@
 //! 6. [`oi::OiSummary`] converts the bound into an operational-intensity
 //!    upper bound and compares it against a machine balance (Sec. 8).
 //!
+//! ## Entry points
+//!
+//! The preferred door is the builder-style [`Analyzer`]: it creates an
+//! isolated engine session ([`iolb_poly::EngineCtx`]), prepares any
+//! [`Workload`] (built-in kernel, polyhedral IR, affine-C source) inside it,
+//! and returns an [`AnalysisOutcome`] carrying the [`Analysis`], the
+//! per-session engine statistics and the versioned report. The bare
+//! [`analyze`] function below is the session-agnostic kernel the `Analyzer`
+//! wraps; it runs against the ambient session.
+//!
 //! ## Example
 //!
 //! ```
@@ -62,6 +72,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyzer;
 pub mod bound;
 pub mod decompose;
 pub mod driver;
@@ -71,8 +82,11 @@ pub mod par;
 pub mod partition;
 pub mod report;
 pub mod wavefront;
+pub mod workload;
 
+pub use analyzer::{AnalysisOutcome, Analyzer};
 pub use bound::{Instance, LowerBound, Technique};
 pub use driver::{analyze, Analysis, AnalysisOptions};
 pub use oi::{OiSummary, Regime};
 pub use report::Report;
+pub use workload::{PreparedWorkload, Workload, WorkloadError};

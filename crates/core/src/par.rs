@@ -16,6 +16,10 @@ use std::sync::Mutex;
 /// and returns the results in input order. Falls back to a plain serial map
 /// when there is a single item or a single core.
 ///
+/// The caller's **ambient engine session** is propagated into every worker
+/// thread, so a parallel map inside an [`iolb_poly::EngineCtx`] scope keeps
+/// all polyhedral work (cache, stats, interner) in that session.
+///
 /// # Panics
 ///
 /// Propagates the first worker panic (like `rayon`'s `par_iter`).
@@ -33,17 +37,21 @@ where
     if workers <= 1 {
         return items.iter().map(&f).collect();
     }
+    let engine = iolb_poly::EngineCtx::current();
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            s.spawn(|| {
+                let _session = engine.enter();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let v = f(&items[i]);
+                    *slots[i].lock().unwrap() = Some(v);
                 }
-                let v = f(&items[i]);
-                *slots[i].lock().unwrap() = Some(v);
             });
         }
     });
@@ -69,6 +77,16 @@ mod tests {
         let empty: Vec<u8> = vec![];
         assert!(parallel_map(&empty, |&b| b).is_empty());
         assert_eq!(parallel_map(&[7], |&b: &i32| b + 1), vec![8]);
+    }
+
+    #[test]
+    fn propagates_the_ambient_session() {
+        let session = iolb_poly::EngineCtx::new();
+        let items: Vec<u32> = (0..64).collect();
+        session.scope(|| {
+            let ids = parallel_map(&items, |_| iolb_poly::EngineCtx::current().id());
+            assert!(ids.iter().all(|&id| id == session.id()));
+        });
     }
 
     #[test]

@@ -9,6 +9,11 @@ use crate::driver::Analysis;
 use crate::oi::OiSummary;
 use std::fmt;
 
+/// Version of the JSON document emitted by [`Report::to_json`] (and by
+/// `AnalysisOutcome::to_json`, which extends it). Bump when a field is
+/// removed or changes meaning; additions are backwards-compatible.
+pub const SCHEMA_VERSION: u32 = 1;
+
 /// A reviewable report for one analysed kernel.
 #[derive(Clone, Debug)]
 pub struct Report {
@@ -44,6 +49,12 @@ impl Report {
             out.push_str(&value);
             out.push_str(if last { "\n" } else { ",\n" });
         };
+        field(
+            &mut out,
+            "schema_version",
+            SCHEMA_VERSION.to_string(),
+            false,
+        );
         field(&mut out, "kernel", json_escape(&self.kernel), false);
         field(
             &mut out,
@@ -211,6 +222,7 @@ mod tests {
         let analysis = analyze(&g, &options);
         let report = Report::new("copy", analysis, None);
         let json = report.to_json();
+        assert!(json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
         assert!(json.contains("\"kernel\": \"copy\""));
         assert!(json.contains("\"q_low\": \""));
         assert!(json.contains("\"accepted_bounds\": ["));

@@ -236,7 +236,7 @@ pub fn wavefront_bound(input: &WavefrontInput<'_>) -> Option<LowerBound> {
     if w.is_empty() {
         return None;
     }
-    let w_card = count::card(&w, input.ctx)?;
+    let w_card = count::card_in(&iolb_poly::EngineCtx::current(), &w, input.ctx)?;
     notes.push(format!("wavefront size |W| = {}", w_card));
 
     // Q ≥ |W| − S.

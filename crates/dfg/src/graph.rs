@@ -193,9 +193,10 @@ impl Dfg {
     /// Total number of operations as a symbolic polynomial, assuming
     /// `ops_per_instance` operations per statement instance.
     pub fn total_ops(&self, ctx: &iolb_poly::Context) -> Option<iolb_symbol::Poly> {
+        let engine = iolb_poly::EngineCtx::current();
         let mut total = iolb_symbol::Poly::zero();
         for s in self.statements() {
-            let card = iolb_poly::count::card_basic(&s.domain, ctx)?;
+            let card = iolb_poly::count::card_basic_in(&engine, &s.domain, ctx)?;
             total = total + card.scale(iolb_math::Rational::from_int(s.ops_per_instance as i128));
         }
         Some(total)
@@ -203,9 +204,10 @@ impl Dfg {
 
     /// Total input-data size (sum of input-array domain cardinalities).
     pub fn input_size(&self, ctx: &iolb_poly::Context) -> Option<iolb_symbol::Poly> {
+        let engine = iolb_poly::EngineCtx::current();
         let mut total = iolb_symbol::Poly::zero();
         for s in self.inputs() {
-            let card = iolb_poly::count::card_basic(&s.domain, ctx)?;
+            let card = iolb_poly::count::card_basic_in(&engine, &s.domain, ctx)?;
             total = total + card;
         }
         Some(total)
@@ -230,9 +232,10 @@ fn largest_piece(set: &Set, original: &BasicSet) -> BasicSet {
         return set.parts()[0].clone();
     }
     let ctx = iolb_poly::Context::empty();
+    let engine = iolb_poly::EngineCtx::current();
     let mut best: Option<(&BasicSet, f64)> = None;
     for p in set.parts() {
-        let size = iolb_poly::count::card_basic(p, &ctx)
+        let size = iolb_poly::count::card_basic_in(&engine, p, &ctx)
             .and_then(|c| c.eval_f64(&sample_env(&c)))
             .unwrap_or(0.0);
         if best.is_none_or(|(_, s)| size > s) {

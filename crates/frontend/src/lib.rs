@@ -179,3 +179,98 @@ impl std::error::Error for Error {}
 pub fn compile(src: &str) -> Result<LoweredProgram, Error> {
     lower(&parse(src)?)
 }
+
+/// An affine-C program as source text — the session-safe
+/// [`Workload`](iolb_core::Workload) form of a frontend program: the
+/// `Analyzer` compiles the text inside its own engine session.
+///
+/// ```no_run
+/// use iolb_core::Analyzer;
+/// use iolb_frontend::IolbSource;
+///
+/// let src = "parameter N; double A[N]; double s;\nfor (i = 0; i < N; i++) s += A[i];";
+/// let outcome = Analyzer::new().analyze(&IolbSource::new(src)).unwrap();
+/// ```
+pub struct IolbSource {
+    /// Display name for the report (defaults to `"program"`).
+    pub name: String,
+    /// The affine-C source text.
+    pub src: String,
+}
+
+impl IolbSource {
+    /// Wraps source text with the default name.
+    pub fn new(src: impl Into<String>) -> Self {
+        IolbSource {
+            name: "program".to_string(),
+            src: src.into(),
+        }
+    }
+
+    /// Wraps source text with an explicit report name.
+    pub fn named(name: impl Into<String>, src: impl Into<String>) -> Self {
+        IolbSource {
+            name: name.into(),
+            src: src.into(),
+        }
+    }
+}
+
+/// A `.iolb` file on disk as a workload: read and compiled inside the
+/// analysis session (the report is named after the file stem).
+pub struct IolbFile(pub std::path::PathBuf);
+
+impl IolbFile {
+    /// Wraps a path.
+    pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
+        IolbFile(path.into())
+    }
+}
+
+fn prepare_lowered(
+    name: &str,
+    program: &LoweredProgram,
+) -> Result<iolb_core::PreparedWorkload, iolb_core::WorkloadError> {
+    let dfg = program.to_dfg().map_err(iolb_core::WorkloadError::new)?;
+    Ok(iolb_core::PreparedWorkload {
+        name: name.to_string(),
+        params: program.params().to_vec(),
+        dfg,
+        options: None,
+        ops: None,
+    })
+}
+
+impl iolb_core::Workload for IolbSource {
+    fn prepare(&self) -> Result<iolb_core::PreparedWorkload, iolb_core::WorkloadError> {
+        let program = compile(&self.src).map_err(iolb_core::WorkloadError::new)?;
+        prepare_lowered(&self.name, &program)
+    }
+}
+
+impl iolb_core::Workload for IolbFile {
+    fn prepare(&self) -> Result<iolb_core::PreparedWorkload, iolb_core::WorkloadError> {
+        let path = &self.0;
+        let src = std::fs::read_to_string(path).map_err(|e| {
+            iolb_core::WorkloadError::new(format!("cannot read `{}`: {e}", path.display()))
+        })?;
+        let program = compile(&src)
+            .map_err(|e| iolb_core::WorkloadError::new(format!("{}:{e}", path.display())))?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        prepare_lowered(&name, &program)
+    }
+}
+
+/// A compiled [`LoweredProgram`] is itself a workload. **Session binding
+/// applies**: its access program embeds interned parameter ids, so analyse
+/// it in the session it was compiled in (see `iolb_core::Analyzer::engine`)
+/// — or hand the `Analyzer` the source via [`IolbSource`] / [`IolbFile`]
+/// instead, which is always safe.
+impl iolb_core::Workload for LoweredProgram {
+    fn prepare(&self) -> Result<iolb_core::PreparedWorkload, iolb_core::WorkloadError> {
+        prepare_lowered("program", self)
+    }
+}

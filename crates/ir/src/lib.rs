@@ -243,6 +243,43 @@ fn parse_err(original: &str) -> DfgError {
     })
 }
 
+/// A [`Program`] is an [`iolb_core::Workload`]: it holds only textual
+/// (session-independent) sources, so the `Analyzer` can lower it inside
+/// whichever engine session the analysis runs in.
+impl iolb_core::Workload for Program {
+    fn prepare(&self) -> Result<iolb_core::PreparedWorkload, iolb_core::WorkloadError> {
+        let dfg = self
+            .to_dfg()
+            .map_err(|e| iolb_core::WorkloadError::new(format!("ir program: {e}")))?;
+        Ok(iolb_core::PreparedWorkload {
+            name: "program".to_string(),
+            params: iolb_core::workload::dfg_params(&dfg),
+            dfg,
+            options: None,
+            ops: None,
+        })
+    }
+}
+
+/// An [`AccessProgram`] is an [`iolb_core::Workload`]. **Session binding
+/// applies**: its domains and access expressions embed interned parameter
+/// ids, so analyse it in the session it was built in (see
+/// `iolb_core::Analyzer::engine`).
+impl iolb_core::Workload for AccessProgram {
+    fn prepare(&self) -> Result<iolb_core::PreparedWorkload, iolb_core::WorkloadError> {
+        let dfg = self
+            .to_dfg()
+            .map_err(|e| iolb_core::WorkloadError::new(format!("dataflow: {e}")))?;
+        Ok(iolb_core::PreparedWorkload {
+            name: "program".to_string(),
+            params: iolb_core::workload::dfg_params(&dfg),
+            dfg,
+            options: None,
+            ops: None,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +342,42 @@ mod tests {
         options.max_parametrization_depth = 0;
         let analysis = iolb_core::analyze(&dfg, &options);
         assert_eq!(analysis.q_asymptotic().to_string(), "2*Ni*Nj*Nk*S^(-1/2)");
+    }
+
+    #[test]
+    fn program_is_an_analyzer_workload() {
+        // The same gemm program through the session-scoped builder: the
+        // program text is lowered inside the Analyzer's own session.
+        let program = Program::new()
+            .array("A", "[Ni, Nk] -> { A[i, k] : 0 <= i < Ni and 0 <= k < Nk }")
+            .array("B", "[Nk, Nj] -> { B[k, j] : 0 <= k < Nk and 0 <= j < Nj }")
+            .statement_with_ops(
+                "C",
+                "[Ni, Nj, Nk] -> { C[i, j, k] : 0 <= i < Ni and 0 <= j < Nj and 0 <= k < Nk }",
+                &[
+                    "[Ni, Nj, Nk] -> { C[i, j, k] -> A[i2, k2] : i2 = i and k2 = k and 0 <= i < Ni and 0 <= j < Nj and 0 <= k < Nk }",
+                    "[Ni, Nj, Nk] -> { C[i, j, k] -> B[k2, j2] : j2 = j and k2 = k and 0 <= i < Ni and 0 <= j < Nj and 0 <= k < Nk }",
+                ],
+                2,
+            )
+            .flow(
+                "C",
+                "C",
+                "[Ni, Nj, Nk] -> { C[i, j, k] -> C[i2, j2, k + 1] : i2 = i and j2 = j and 0 <= i < Ni and 0 <= j < Nj and 0 <= k < Nk - 1 }",
+            )
+            .build();
+        let outcome = iolb_core::Analyzer::new()
+            .max_parametrization_depth(0)
+            .param("Ni", 512)
+            .param("Nj", 512)
+            .param("Nk", 512)
+            .analyze(&program)
+            .unwrap();
+        assert_eq!(
+            outcome.analysis().q_asymptotic().to_string(),
+            "2*Ni*Nj*Nk*S^(-1/2)"
+        );
+        assert!(outcome.stats.COUNT_CALLS > 0);
     }
 
     #[test]

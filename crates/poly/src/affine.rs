@@ -1,12 +1,18 @@
 //! Integer affine expressions and constraints over set/map dimensions and
 //! symbolic parameters.
 //!
-//! Parameter names are interned (see [`crate::interner`]); an expression's
+//! Parameter names are interned into the engine session (see
+//! [`crate::interner`] and [`crate::engine::EngineCtx`]); an expression's
 //! parameter part is a compact `Vec<(ParamId, i128)>` sorted by id, so the
 //! hot-path operations (add, scale, gcd-normalisation) are allocation-light
-//! two-pointer merges over `u32` keys instead of `BTreeMap<String, _>` walks.
+//! two-pointer merges over compact keys instead of `BTreeMap<String, _>`
+//! walks. Name-based conveniences ([`LinExpr::param`],
+//! [`LinExpr::param_coeff`], …) resolve the **ambient** session; the `_in`
+//! variants take the session explicitly. An expression is bound to the
+//! session whose ids it embeds — build and query it under the same session.
 
-use crate::interner::{self, ParamId};
+use crate::engine::EngineCtx;
+use crate::interner::ParamId;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -90,10 +96,17 @@ impl LinExpr {
         e
     }
 
-    /// The expression `p` for a named parameter.
+    /// The expression `p` for a named parameter, interned in the **ambient**
+    /// session.
     pub fn param(nvars: usize, name: &str) -> Self {
+        EngineCtx::with_current(|engine| LinExpr::param_in(engine, nvars, name))
+    }
+
+    /// The expression `p` for a named parameter, interned in the given
+    /// session.
+    pub fn param_in(engine: &EngineCtx, nvars: usize, name: &str) -> Self {
         let mut e = LinExpr::zero(nvars);
-        e.param_coeffs.push((interner::intern(name), 1));
+        e.param_coeffs.push((engine.intern(name), 1));
         e
     }
 
@@ -107,9 +120,16 @@ impl LinExpr {
         self.var_coeffs[i]
     }
 
-    /// Coefficient of a named parameter.
+    /// Coefficient of a named parameter (resolved in the **ambient**
+    /// session).
     pub fn param_coeff(&self, name: &str) -> i128 {
-        interner::lookup(name)
+        EngineCtx::with_current(|engine| self.param_coeff_in(engine, name))
+    }
+
+    /// Coefficient of a named parameter, resolved in the given session.
+    pub fn param_coeff_in(&self, engine: &EngineCtx, name: &str) -> i128 {
+        engine
+            .lookup(name)
             .map(|id| self.param_coeff_id(id))
             .unwrap_or(0)
     }
@@ -141,21 +161,28 @@ impl LinExpr {
         }
     }
 
-    /// Removes a parameter from the expression (no-op if absent).
+    /// Removes a parameter from the expression (no-op if absent; the name is
+    /// resolved in the **ambient** session).
     pub fn clear_param(&mut self, name: &str) {
-        if let Some(id) = interner::lookup(name) {
+        if let Some(id) = EngineCtx::with_current(|engine| engine.lookup(name)) {
             self.set_param_coeff(id, 0);
         }
     }
 
     /// The `(name, coefficient)` pairs of the (non-zero) parameter terms,
     /// sorted by parameter *name* — the deterministic order for display and
-    /// conversion to symbolic polynomials.
+    /// conversion to symbolic polynomials. Names resolve in the **ambient**
+    /// session.
     pub fn param_terms_by_name(&self) -> Vec<(std::sync::Arc<str>, i128)> {
+        EngineCtx::with_current(|engine| self.param_terms_by_name_in(engine))
+    }
+
+    /// [`LinExpr::param_terms_by_name`] against an explicit session.
+    pub fn param_terms_by_name_in(&self, engine: &EngineCtx) -> Vec<(std::sync::Arc<str>, i128)> {
         let mut out: Vec<(std::sync::Arc<str>, i128)> = self
             .param_coeffs
             .iter()
-            .map(|&(id, c)| (interner::resolve(id), c))
+            .map(|&(id, c)| (engine.resolve(id), c))
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
@@ -284,17 +311,22 @@ impl LinExpr {
         base.add_scaled(repl, c)
     }
 
-    /// Renames a parameter (no-op if the parameter does not occur).
+    /// Renames a parameter (no-op if the parameter does not occur; names
+    /// resolve in the **ambient** session).
     pub fn rename_param(&self, from: &str, to: &str) -> LinExpr {
-        let c = self.param_coeff(from);
-        if c == 0 {
-            return self.clone();
-        }
-        let mut out = self.clone();
-        out.clear_param(from);
-        let to_id = interner::intern(to);
-        out.set_param_coeff(to_id, out.param_coeff_id(to_id) + c);
-        out
+        EngineCtx::with_current(|engine| {
+            let c = self.param_coeff_in(engine, from);
+            if c == 0 {
+                return self.clone();
+            }
+            let mut out = self.clone();
+            if let Some(from_id) = engine.lookup(from) {
+                out.set_param_coeff(from_id, 0);
+            }
+            let to_id = engine.intern(to);
+            out.set_param_coeff(to_id, out.param_coeff_id(to_id) + c);
+            out
+        })
     }
 
     /// Evaluates the expression at integer variable values and parameter
@@ -305,13 +337,15 @@ impl LinExpr {
         for (i, &c) in self.var_coeffs.iter().enumerate() {
             acc += c * vars[i];
         }
-        for &(id, c) in &self.param_coeffs {
-            let p = interner::resolve(id);
-            acc += c * params
-                .get(&*p as &str)
-                .copied()
-                .unwrap_or_else(|| panic!("missing parameter {p}"));
-        }
+        EngineCtx::with_current(|engine| {
+            for &(id, c) in &self.param_coeffs {
+                let p = engine.resolve(id);
+                acc += c * params
+                    .get(&*p as &str)
+                    .copied()
+                    .unwrap_or_else(|| panic!("missing parameter {p}"));
+            }
+        });
         acc
     }
 

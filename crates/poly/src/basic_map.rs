@@ -181,20 +181,26 @@ impl BasicMap {
 
     /// Returns true if the relation is empty for every parameter value.
     pub fn is_empty(&self) -> bool {
-        !fm::is_feasible(&self.constraints, self.arity())
+        crate::engine::EngineCtx::with_current(|e| {
+            !fm::is_feasible_in(e, &self.constraints, self.arity())
+        })
     }
 
     /// The domain of the relation (projection on the input dimensions).
     pub fn domain(&self) -> BasicSet {
         let idxs: Vec<usize> = (self.n_in()..self.arity()).collect();
-        let cs = fm::eliminate_vars(&self.constraints, idxs);
+        let cs = crate::engine::EngineCtx::with_current(|e| {
+            fm::eliminate_vars_in(e, &self.constraints, idxs)
+        });
         BasicSet::from_constraints(self.in_space.clone(), cs)
     }
 
     /// The range of the relation (projection on the output dimensions).
     pub fn range(&self) -> BasicSet {
         let idxs: Vec<usize> = (0..self.n_in()).collect();
-        let cs = fm::eliminate_vars(&self.constraints, idxs);
+        let cs = crate::engine::EngineCtx::with_current(|e| {
+            fm::eliminate_vars_in(e, &self.constraints, idxs)
+        });
         BasicSet::from_constraints(self.out_space.clone(), cs)
     }
 
@@ -408,7 +414,9 @@ impl BasicMap {
         }
         // Project out the shared b dimensions.
         let idxs: Vec<usize> = (n_a..n_a + n_b).collect();
-        let projected = fm::eliminate_vars(&constraints, idxs);
+        let projected = crate::engine::EngineCtx::with_current(|e| {
+            fm::eliminate_vars_in(e, &constraints, idxs)
+        });
         BasicMap {
             in_space: self.in_space.clone(),
             out_space: other.out_space().clone(),
@@ -456,7 +464,9 @@ impl BasicMap {
             .collect();
         let t_def = LinExpr::var(total, arity).sub(&expr.remap_vars(total, &mapping));
         sys.push(Constraint::eq(t_def));
-        let only_t = fm::eliminate_vars(&sys, (0..arity).collect());
+        let only_t = crate::engine::EngineCtx::with_current(|e| {
+            fm::eliminate_vars_in(e, &sys, (0..arity).collect())
+        });
         // Look for a pair of bounds or an equality pinning t (variable 0 of
         // the reduced system) to a constant with no parameters.
         let mut lower: Option<i128> = None;
@@ -513,7 +523,8 @@ impl BasicMap {
         // Build the linear system: for each equality,
         //   Σ_j a_j · in_j = -(Σ_k b_k · out_k + params + const).
         // Unknowns: the in dims. RHS components tracked symbolically.
-        let params: Vec<String> = fm::collect_params(&self.constraints);
+        let params: Vec<String> =
+            crate::engine::EngineCtx::with_current(|e| fm::collect_params_in(e, &self.constraints));
         let num_rhs = n_out + params.len() + 1; // out dims, params, constant
         let mut lhs_rows: Vec<Vec<Rational>> = Vec::new();
         let mut rhs_rows: Vec<Vec<Rational>> = Vec::new();

@@ -151,7 +151,9 @@ impl BasicSet {
         if self.constraints.iter().any(|c| c.is_trivially_false()) {
             return true;
         }
-        !fm::is_feasible(&self.constraints, self.dim())
+        crate::engine::EngineCtx::with_current(|e| {
+            !fm::is_feasible_in(e, &self.constraints, self.dim())
+        })
     }
 
     /// Checks membership of a concrete point under concrete parameter values.
@@ -239,16 +241,19 @@ impl BasicSet {
     /// Returns true if `self ⊆ other` (conservative: may return `false` for
     /// sets that are in fact included when integer reasoning would be needed).
     pub fn is_subset(&self, other: &BasicSet) -> bool {
-        other
-            .constraints
-            .iter()
-            .all(|c| fm::implies(&self.constraints, self.dim(), c))
+        other.constraints.iter().all(|c| {
+            crate::engine::EngineCtx::with_current(|e| {
+                fm::implies_in(e, &self.constraints, self.dim(), c)
+            })
+        })
     }
 
     /// Projects out dimension `idx`, returning a set over the remaining
     /// dimensions.
     pub fn project_out(&self, idx: usize) -> BasicSet {
-        let constraints = fm::eliminate_var(&self.constraints, idx);
+        let constraints = crate::engine::EngineCtx::with_current(|e| {
+            fm::eliminate_var_in(e, &self.constraints, idx)
+        });
         let mut dims: Vec<String> = self.space.dims().to_vec();
         dims.remove(idx);
         BasicSet {

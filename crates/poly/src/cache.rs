@@ -1,12 +1,15 @@
-//! Memoization of the engine's repeated queries.
+//! Memoization of the engine's repeated queries, scoped to a session.
 //!
 //! The IOLB driver re-tests near-identical constraint systems across
 //! parametrization depths, statements and path-combination rounds: the same
 //! feasibility, entailment and cardinality questions are asked over and over
 //! (entailment-based bound pruning alone is quadratic in the number of
-//! candidate bounds). This module provides a process-wide cache for the three
-//! query kinds, consulted by [`crate::fm::is_feasible`],
-//! [`crate::fm::implies`] and [`crate::count::card_basic`].
+//! candidate bounds). Each [`EngineCtx`](crate::engine::EngineCtx) owns one
+//! `QueryCache` for the three query kinds, consulted by
+//! [`crate::fm::is_feasible_in`], [`crate::fm::implies_in`] and
+//! [`crate::count::card_basic_in`]. Because the cache lives in the session,
+//! unrelated analyses never share entries, and dropping the session frees
+//! the memory.
 //!
 //! Queries are identified by the **exact** inputs (constraint lists in input
 //! order) — not a canonicalised form — so a cached answer is what re-running
@@ -18,16 +21,22 @@
 //! ~2⁻⁸⁸ — far below the chance of a hardware fault.
 //!
 //! The cache is sharded (16 ways) behind `RwLock`s so the parallel driver
-//! scales, and each shard is capacity-capped: once full, new results are
-//! simply not stored (the cache never evicts, which keeps lookups cheap and
-//! behaviour deterministic).
+//! scales, and the total capacity is configurable per session
+//! ([`crate::engine::EngineConfig::cache_capacity`], surfaced as the CLI's
+//! `--cache-cap`): once full, new results are simply not stored (the cache
+//! never evicts, which keeps lookups cheap and behaviour deterministic).
+//! Disabling a session's cache also clears it — a disabled cache holds no
+//! memory.
+//!
+//! The free functions at the bottom are deprecated shims over the ambient
+//! session, kept so pre-session code still compiles.
 
 use crate::affine::Constraint;
 use crate::fxhash::{Fingerprint, FingerprintMap};
-use crate::stats;
+use crate::stats::Counters;
 use iolb_symbol::Poly;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{OnceLock, RwLock};
+use std::sync::RwLock;
 
 /// Domain separators so the three query kinds (and the parts within a query)
 /// can never alias each other's fingerprints.
@@ -39,32 +48,21 @@ mod tag {
 }
 
 const SHARDS: usize = 16;
-/// Per-shard entry cap (the whole cache holds at most `16 * 65536` entries).
-const SHARD_CAP: usize = 65_536;
-
-static ENABLED: AtomicBool = AtomicBool::new(true);
-
-/// Globally enables or disables the cache (enabled by default). Disabling
-/// does not clear previously stored entries; they are just not consulted.
-pub fn set_enabled(enabled: bool) {
-    ENABLED.store(enabled, Ordering::Relaxed);
-}
-
-/// Returns true if the cache is currently consulted.
-pub fn is_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
-}
+/// The three query kinds a capacity budget is split across.
+const KINDS: usize = 3;
 
 struct Sharded<V> {
     shards: Vec<RwLock<FingerprintMap<V>>>,
+    shard_cap: usize,
 }
 
 impl<V: Clone> Sharded<V> {
-    fn new() -> Self {
+    fn new(shard_cap: usize) -> Self {
         Sharded {
             shards: (0..SHARDS)
                 .map(|_| RwLock::new(FingerprintMap::default()))
                 .collect(),
+            shard_cap,
         }
     }
 
@@ -80,14 +78,17 @@ impl<V: Clone> Sharded<V> {
 
     fn insert(&self, key: u128, value: V) {
         let mut shard = self.shard(key).write().unwrap();
-        if shard.len() < SHARD_CAP {
+        if shard.len() < self.shard_cap {
             shard.insert(key, value);
         }
     }
 
     fn clear(&self) {
         for s in &self.shards {
-            s.write().unwrap().clear();
+            let mut shard = s.write().unwrap();
+            // Release the backing allocation too: a cleared (or disabled)
+            // cache must not keep its high-water-mark memory resident.
+            *shard = FingerprintMap::default();
         }
     }
 
@@ -96,114 +97,165 @@ impl<V: Clone> Sharded<V> {
     }
 }
 
-struct Caches {
+/// One session's memoization state: three sharded fingerprint→result maps
+/// plus the enabled flag. Owned by [`crate::engine::EngineCtx`]; use the
+/// session facade (`set_cache_enabled`, `clear_cache`, `cache_len`) from
+/// outside the crate.
+pub(crate) struct QueryCache {
+    enabled: AtomicBool,
     feasibility: Sharded<bool>,
     entailment: Sharded<bool>,
     count: Sharded<Option<Poly>>,
 }
 
-fn caches() -> &'static Caches {
-    static CACHES: OnceLock<Caches> = OnceLock::new();
-    CACHES.get_or_init(|| Caches {
-        feasibility: Sharded::new(),
-        entailment: Sharded::new(),
-        count: Sharded::new(),
-    })
+impl QueryCache {
+    /// Creates a cache whose **total** entry count across the three query
+    /// kinds is capped by `capacity`. The budget is split evenly over the
+    /// `3 × 16` shards, rounding up per shard (so tiny non-zero budgets
+    /// still store a few entries; the true ceiling is within one entry per
+    /// shard of `capacity`). A capacity of 0 disables storage entirely.
+    pub(crate) fn new(capacity: usize, enabled: bool) -> Self {
+        let shard_cap = capacity.div_ceil(SHARDS * KINDS);
+        QueryCache {
+            enabled: AtomicBool::new(enabled),
+            feasibility: Sharded::new(shard_cap),
+            entailment: Sharded::new(shard_cap),
+            count: Sharded::new(shard_cap),
+        }
+    }
+
+    pub(crate) fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn clear(&self) {
+        self.feasibility.clear();
+        self.entailment.clear();
+        self.count.clear();
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.feasibility.len() + self.entailment.len() + self.count.len()
+    }
+
+    /// Memoizes a feasibility query. `compute` runs on a miss (or when the
+    /// cache is disabled).
+    pub(crate) fn feasibility(
+        &self,
+        stats: &Counters,
+        sys: &[Constraint],
+        nvars: usize,
+        compute: impl FnOnce() -> bool,
+    ) -> bool {
+        if !self.is_enabled() {
+            return compute();
+        }
+        let mut fp = Fingerprint::new(tag::FEASIBILITY);
+        fp.add(&nvars);
+        fp.add(&sys);
+        let key = fp.finish();
+        if let Some(v) = self.feasibility.get(key) {
+            stats.bump_feasibility_cache_hit();
+            return v;
+        }
+        let v = compute();
+        self.feasibility.insert(key, v);
+        v
+    }
+
+    /// Memoizes an entailment query.
+    pub(crate) fn entailment(
+        &self,
+        stats: &Counters,
+        sys: &[Constraint],
+        nvars: usize,
+        target: &Constraint,
+        compute: impl FnOnce() -> bool,
+    ) -> bool {
+        if !self.is_enabled() {
+            return compute();
+        }
+        let mut fp = Fingerprint::new(tag::ENTAILMENT);
+        fp.add(&nvars);
+        fp.add(&sys);
+        fp.add(&tag::PART);
+        fp.add(target);
+        let key = fp.finish();
+        if let Some(v) = self.entailment.get(key) {
+            stats.bump_entailment_cache_hit();
+            return v;
+        }
+        let v = compute();
+        self.entailment.insert(key, v);
+        v
+    }
+
+    /// Memoizes a symbolic cardinality query (including the "not exactly
+    /// countable" `None` outcome, which is just as expensive to recompute).
+    pub(crate) fn count(
+        &self,
+        stats: &Counters,
+        sys: &[Constraint],
+        dim: usize,
+        ctx: &[Constraint],
+        compute: impl FnOnce() -> Option<Poly>,
+    ) -> Option<Poly> {
+        if !self.is_enabled() {
+            return compute();
+        }
+        let mut fp = Fingerprint::new(tag::COUNT);
+        fp.add(&dim);
+        fp.add(&sys);
+        fp.add(&tag::PART);
+        fp.add(&ctx);
+        let key = fp.finish();
+        if let Some(v) = self.count.get(key) {
+            stats.bump_count_cache_hit();
+            return v;
+        }
+        let v = compute();
+        self.count.insert(key, v.clone());
+        v
+    }
 }
 
-/// Empties all three caches (mainly for tests and long-running servers).
+// --- deprecated global shims -----------------------------------------------
+
+/// Enables or disables the **ambient** session's cache. As with
+/// [`EngineCtx::set_cache_enabled`](crate::engine::EngineCtx::set_cache_enabled),
+/// disabling clears the stored entries.
+#[deprecated(note = "use EngineCtx::set_cache_enabled on an explicit session")]
+pub fn set_enabled(enabled: bool) {
+    crate::engine::EngineCtx::with_current(|e| e.set_cache_enabled(enabled))
+}
+
+/// True when the **ambient** session's cache is consulted.
+#[deprecated(note = "use EngineCtx::cache_enabled on an explicit session")]
+pub fn is_enabled() -> bool {
+    crate::engine::EngineCtx::with_current(|e| e.cache_enabled())
+}
+
+/// Empties the **ambient** session's caches.
+#[deprecated(note = "use EngineCtx::clear_cache on an explicit session")]
 pub fn clear() {
-    let c = caches();
-    c.feasibility.clear();
-    c.entailment.clear();
-    c.count.clear();
+    crate::engine::EngineCtx::with_current(|e| e.clear_cache())
 }
 
-/// Number of entries currently stored across all three caches.
+/// Number of entries stored in the **ambient** session's caches.
+#[deprecated(note = "use EngineCtx::cache_len on an explicit session")]
 pub fn len() -> usize {
-    let c = caches();
-    c.feasibility.len() + c.entailment.len() + c.count.len()
-}
-
-/// Memoizes a feasibility query. `compute` runs on a miss (or when the cache
-/// is disabled).
-pub fn feasibility(sys: &[Constraint], nvars: usize, compute: impl FnOnce() -> bool) -> bool {
-    if !is_enabled() {
-        return compute();
-    }
-    let mut fp = Fingerprint::new(tag::FEASIBILITY);
-    fp.add(&nvars);
-    fp.add(&sys);
-    let key = fp.finish();
-    if let Some(v) = caches().feasibility.get(key) {
-        stats::bump(&stats::FEASIBILITY_CACHE_HITS);
-        return v;
-    }
-    let v = compute();
-    caches().feasibility.insert(key, v);
-    v
-}
-
-/// Memoizes an entailment query.
-pub fn entailment(
-    sys: &[Constraint],
-    nvars: usize,
-    target: &Constraint,
-    compute: impl FnOnce() -> bool,
-) -> bool {
-    if !is_enabled() {
-        return compute();
-    }
-    let mut fp = Fingerprint::new(tag::ENTAILMENT);
-    fp.add(&nvars);
-    fp.add(&sys);
-    fp.add(&tag::PART);
-    fp.add(target);
-    let key = fp.finish();
-    if let Some(v) = caches().entailment.get(key) {
-        stats::bump(&stats::ENTAILMENT_CACHE_HITS);
-        return v;
-    }
-    let v = compute();
-    caches().entailment.insert(key, v);
-    v
-}
-
-/// Memoizes a symbolic cardinality query (including the "not exactly
-/// countable" `None` outcome, which is just as expensive to recompute).
-pub fn count(
-    sys: &[Constraint],
-    dim: usize,
-    ctx: &[Constraint],
-    compute: impl FnOnce() -> Option<Poly>,
-) -> Option<Poly> {
-    if !is_enabled() {
-        return compute();
-    }
-    let mut fp = Fingerprint::new(tag::COUNT);
-    fp.add(&dim);
-    fp.add(&sys);
-    fp.add(&tag::PART);
-    fp.add(&ctx);
-    let key = fp.finish();
-    if let Some(v) = caches().count.get(key) {
-        stats::bump(&stats::COUNT_CACHE_HITS);
-        return v;
-    }
-    let v = compute();
-    caches().count.insert(key, v.clone());
-    v
+    crate::engine::EngineCtx::with_current(|e| e.cache_len())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::affine::LinExpr;
-    use std::sync::Mutex;
-
-    /// The cache is process-global state; these tests toggle and clear it,
-    /// so they must not interleave under the parallel test runner.
-    static SERIAL: Mutex<()> = Mutex::new(());
+    use crate::engine::EngineCtx;
 
     fn c(k: i128) -> Constraint {
         Constraint::ge0(LinExpr::constant(1, k))
@@ -211,52 +263,52 @@ mod tests {
 
     #[test]
     fn feasibility_memoizes() {
-        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-        clear();
-        set_enabled(true);
+        let e = EngineCtx::new();
         let sys = vec![c(101), c(102)];
         let mut calls = 0;
-        let a = feasibility(&sys, 1, || {
+        let a = e.query_cache().feasibility(e.counters(), &sys, 1, || {
             calls += 1;
             true
         });
-        let b = feasibility(&sys, 1, || {
+        let b = e.query_cache().feasibility(e.counters(), &sys, 1, || {
             calls += 1;
             false // would poison the cache if actually called
         });
         assert!(a && b);
         assert_eq!(calls, 1);
+        assert_eq!(e.stats().FEASIBILITY_CACHE_HITS, 1);
     }
 
     #[test]
-    fn disabled_cache_always_computes() {
-        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-        clear();
-        set_enabled(false);
+    fn disabled_cache_always_computes_and_holds_nothing() {
+        let e = EngineCtx::new();
+        e.query_cache()
+            .feasibility(e.counters(), &[c(103)], 1, || true);
+        assert_eq!(e.cache_len(), 1);
+        e.set_cache_enabled(false);
+        assert_eq!(e.cache_len(), 0, "disabling must clear resident entries");
         let sys = vec![c(103)];
         let mut calls = 0;
         for _ in 0..3 {
-            feasibility(&sys, 1, || {
+            e.query_cache().feasibility(e.counters(), &sys, 1, || {
                 calls += 1;
                 true
             });
         }
         assert_eq!(calls, 3);
-        set_enabled(true);
+        assert_eq!(e.cache_len(), 0);
     }
 
     #[test]
     fn count_caches_none_too() {
-        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-        clear();
-        set_enabled(true);
+        let e = EngineCtx::new();
         let sys = vec![c(107)];
         let mut calls = 0;
-        let first = count(&sys, 1, &[], || {
+        let first = e.query_cache().count(e.counters(), &sys, 1, &[], || {
             calls += 1;
             None
         });
-        let second = count(&sys, 1, &[], || {
+        let second = e.query_cache().count(e.counters(), &sys, 1, &[], || {
             calls += 1;
             Some(Poly::one())
         });
@@ -266,22 +318,35 @@ mod tests {
 
     #[test]
     fn distinct_queries_do_not_alias() {
-        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-        clear();
-        set_enabled(true);
+        let e = EngineCtx::new();
+        let cache = e.query_cache();
+        let stats = e.counters();
         // Same system, different arity.
-        let a = feasibility(&[c(108)], 1, || true);
-        let b = feasibility(&[c(108)], 2, || false);
+        let a = cache.feasibility(stats, &[c(108)], 1, || true);
+        let b = cache.feasibility(stats, &[c(108)], 2, || false);
         assert!(a);
         assert!(!b);
         // A feasibility key never answers an entailment query.
         let t = c(109);
-        let e = entailment(&[c(108)], 1, &t, || false);
-        assert!(!e);
+        let e1 = cache.entailment(stats, &[c(108)], 1, &t, || false);
+        assert!(!e1);
         // Shifting a constraint between `sys` and `target` changes the key.
-        let x = entailment(&[c(108), c(110)], 1, &t, || true);
-        let y = entailment(&[c(108)], 1, &c(110), || false);
+        let x = cache.entailment(stats, &[c(108), c(110)], 1, &t, || true);
+        let y = cache.entailment(stats, &[c(108)], 1, &c(110), || false);
         assert!(x);
         assert!(!y);
+    }
+
+    #[test]
+    fn sessions_do_not_share_entries() {
+        let a = EngineCtx::new();
+        let b = EngineCtx::new();
+        let sys = vec![c(111)];
+        a.query_cache().feasibility(a.counters(), &sys, 1, || true);
+        // Same key in session b must recompute (and may differ).
+        let v = b.query_cache().feasibility(b.counters(), &sys, 1, || false);
+        assert!(!v);
+        assert_eq!(a.cache_len(), 1);
+        assert_eq!(b.cache_len(), 1);
     }
 }

@@ -12,9 +12,14 @@
 //! single effective lower and upper bound with unit coefficient — which
 //! covers every PolyBench kernel. Domains outside the class yield `None` and
 //! callers fall back to conservative handling.
+//!
+//! The entry points take the engine session explicitly
+//! ([`card_basic_in`], [`card_in`]); the suffix-less forms are deprecated
+//! shims over the ambient session.
 
 use crate::affine::{Constraint, ConstraintKind, LinExpr};
 use crate::basic_set::BasicSet;
+use crate::engine::EngineCtx;
 use crate::fm;
 use crate::set::Set;
 use iolb_symbol::{sum_over, Poly};
@@ -81,7 +86,7 @@ fn dim_param(i: usize) -> String {
 
 /// Converts an affine expression over the first `ndims` variables (plus
 /// parameters) to a [`Poly`] in which variable `i` is the parameter `__d{i}`.
-fn linexpr_to_poly(e: &LinExpr, ndims: usize) -> Poly {
+fn linexpr_to_poly(engine: &EngineCtx, e: &LinExpr, ndims: usize) -> Poly {
     let mut p = Poly::constant(iolb_math::Rational::from_int(e.constant));
     for i in 0..ndims {
         let c = e.var_coeff(i);
@@ -89,7 +94,7 @@ fn linexpr_to_poly(e: &LinExpr, ndims: usize) -> Poly {
             p = p + Poly::param(&dim_param(i)).scale(iolb_math::Rational::from_int(c));
         }
     }
-    for (name, c) in e.param_terms_by_name() {
+    for (name, c) in e.param_terms_by_name_in(engine) {
         if c != 0 {
             p = p + Poly::param(&name).scale(iolb_math::Rational::from_int(c));
         }
@@ -97,22 +102,37 @@ fn linexpr_to_poly(e: &LinExpr, ndims: usize) -> Poly {
     p
 }
 
-/// Symbolic cardinality of a basic set. Returns `None` if the domain falls
-/// outside the exactly-countable class.
-pub fn card_basic(set: &BasicSet, ctx: &Context) -> Option<Poly> {
-    crate::stats::bump(&crate::stats::COUNT_CALLS);
-    crate::cache::count(set.constraints(), set.dim(), ctx.constraints(), || {
-        if set.is_empty() {
-            return Some(Poly::zero());
-        }
-        let d = set.dim();
-        let mut constraints = set.constraints().to_vec();
-        constraints.extend(ctx.remapped(d));
-        count_rec(constraints, d, Poly::one())
-    })
+/// Symbolic cardinality of a basic set, computed in the given engine
+/// session. Returns `None` if the domain falls outside the exactly-countable
+/// class.
+///
+/// The set must have been built in `engine`'s session (every sub-query runs
+/// against `engine` explicitly, so cache entries and counters land there).
+pub fn card_basic_in(engine: &EngineCtx, set: &BasicSet, ctx: &Context) -> Option<Poly> {
+    engine.counters().bump_count_call();
+    engine.query_cache().count(
+        engine.counters(),
+        set.constraints(),
+        set.dim(),
+        ctx.constraints(),
+        || {
+            if !fm::is_feasible_in(engine, set.constraints(), set.dim()) {
+                return Some(Poly::zero());
+            }
+            let d = set.dim();
+            let mut constraints = set.constraints().to_vec();
+            constraints.extend(ctx.remapped(d));
+            count_rec(engine, constraints, d, Poly::one())
+        },
+    )
 }
 
-fn count_rec(constraints: Vec<Constraint>, ndims: usize, weight: Poly) -> Option<Poly> {
+fn count_rec(
+    engine: &EngineCtx,
+    constraints: Vec<Constraint>,
+    ndims: usize,
+    weight: Poly,
+) -> Option<Poly> {
     if ndims == 0 {
         // All dimensions eliminated; remaining constraints only restrict
         // parameters. If they are infeasible the set was empty (handled by
@@ -136,17 +156,17 @@ fn count_rec(constraints: Vec<Constraint>, ndims: usize, weight: Poly) -> Option
         let mut rest = eq.expr.clone();
         rest.var_coeffs[idx] = 0;
         let rest = rest.scale(-coeff.signum());
-        let repl_poly = linexpr_to_poly(&rest, ndims);
+        let repl_poly = linexpr_to_poly(engine, &rest, ndims);
         let new_weight = weight.substitute(&dim_param(idx), &repl_poly);
-        let reduced = fm::eliminate_var(&constraints, idx);
-        return count_rec(reduced, ndims - 1, new_weight);
+        let reduced = fm::eliminate_var_in(engine, &constraints, idx);
+        return count_rec(engine, reduced, ndims - 1, new_weight);
     }
 
     // Case 2: inequality bounds. First drop bound constraints on the
     // innermost dimension that are redundant (implied by the rest of the
     // system, including the parameter context) — FM projection and domain
     // intersections routinely introduce such redundant bounds.
-    let constraints = drop_redundant_bounds(constraints, idx, nvars);
+    let constraints = drop_redundant_bounds(engine, constraints, idx, nvars);
     let mut lowers: Vec<LinExpr> = Vec::new();
     let mut uppers: Vec<LinExpr> = Vec::new();
     for c in &constraints {
@@ -174,11 +194,11 @@ fn count_rec(constraints: Vec<Constraint>, ndims: usize, weight: Poly) -> Option
         // Unbounded dimension: infinite cardinality for generic parameters.
         return None;
     }
-    let lower = dominant_bound(&lowers, &constraints, nvars, true)?;
-    let upper = dominant_bound(&uppers, &constraints, nvars, false)?;
+    let lower = dominant_bound(engine, &lowers, &constraints, nvars, true)?;
+    let upper = dominant_bound(engine, &uppers, &constraints, nvars, false)?;
 
-    let lower_poly = linexpr_to_poly(&lower, ndims);
-    let upper_poly = linexpr_to_poly(&upper, ndims);
+    let lower_poly = linexpr_to_poly(engine, &lower, ndims);
+    let upper_poly = linexpr_to_poly(engine, &upper, ndims);
     // Σ_{x = lower}^{upper} weight(x).
     let summed = if weight
         .degree_in(&dim_param(idx))
@@ -189,8 +209,8 @@ fn count_rec(constraints: Vec<Constraint>, ndims: usize, weight: Poly) -> Option
     } else {
         sum_over(&weight, &dim_param(idx), &lower_poly, &upper_poly)
     };
-    let reduced = fm::eliminate_var(&constraints, idx);
-    count_rec(reduced, ndims - 1, summed)
+    let reduced = fm::eliminate_var_in(engine, &constraints, idx);
+    count_rec(engine, reduced, ndims - 1, summed)
 }
 
 /// Removes inequality constraints bounding dimension `idx` that are implied
@@ -198,6 +218,7 @@ fn count_rec(constraints: Vec<Constraint>, ndims: usize, weight: Poly) -> Option
 /// the check repeated on the reduced system) so that one of two equivalent
 /// bounds always survives.
 fn drop_redundant_bounds(
+    engine: &EngineCtx,
     constraints: Vec<Constraint>,
     idx: usize,
     nvars: usize,
@@ -212,7 +233,7 @@ fn drop_redundant_bounds(
             }
             let mut rest: Vec<Constraint> = current.clone();
             rest.remove(i);
-            if fm::implies(&rest, nvars, c) {
+            if fm::implies_in(engine, &rest, nvars, c) {
                 current = rest;
                 removed = true;
                 break;
@@ -228,6 +249,7 @@ fn drop_redundant_bounds(
 /// the least upper bound, decided by entailment over the full constraint
 /// system. Returns `None` when no single candidate dominates all others.
 fn dominant_bound(
+    engine: &EngineCtx,
     candidates: &[LinExpr],
     constraints: &[Constraint],
     nvars: usize,
@@ -249,7 +271,7 @@ fn dominant_bound(
                 other.sub(cand)
             };
             let target = Constraint::ge0(diff);
-            if !fm::implies(constraints, nvars, &target) {
+            if !fm::implies_in(engine, constraints, nvars, &target) {
                 continue 'outer;
             }
         }
@@ -260,13 +282,37 @@ fn dominant_bound(
 
 /// Symbolic cardinality of a union set: disjuncts are first made pairwise
 /// disjoint, then their cardinalities are summed.
-pub fn card(set: &Set, ctx: &Context) -> Option<Poly> {
+///
+/// The disjointing step runs set algebra through the **ambient** session, so
+/// call this inside `engine`'s scope (the `Analyzer` and the object layer do
+/// so by construction); the per-part counting then charges `engine`
+/// explicitly. A mismatch is caught in debug builds.
+pub fn card_in(engine: &EngineCtx, set: &Set, ctx: &Context) -> Option<Poly> {
+    debug_assert_eq!(
+        EngineCtx::with_current(|current| current.id()),
+        engine.id(),
+        "card_in requires the explicit engine to be the ambient session          (enter it with EngineCtx::scope)"
+    );
     let disjoint = set.make_disjoint();
     let mut total = Poly::zero();
     for part in disjoint.parts() {
-        total = total + card_basic(part, ctx)?;
+        total = total + card_basic_in(engine, part, ctx)?;
     }
     Some(total)
+}
+
+// --- deprecated global shims -----------------------------------------------
+
+/// [`card_basic_in`] against the **ambient** session.
+#[deprecated(note = "use card_basic_in with an explicit EngineCtx")]
+pub fn card_basic(set: &BasicSet, ctx: &Context) -> Option<Poly> {
+    EngineCtx::with_current(|e| card_basic_in(e, set, ctx))
+}
+
+/// [`card_in`] against the **ambient** session.
+#[deprecated(note = "use card_in with an explicit EngineCtx")]
+pub fn card(set: &Set, ctx: &Context) -> Option<Poly> {
+    EngineCtx::with_current(|e| card_in(e, set, ctx))
 }
 
 #[cfg(test)]
@@ -274,6 +320,12 @@ mod tests {
     use super::*;
     use crate::space::Space;
     use std::collections::BTreeMap;
+
+    /// The ambient session (tests build their sets ambiently, so querying
+    /// the same session keeps ids consistent).
+    fn engine() -> std::sync::Arc<EngineCtx> {
+        EngineCtx::current()
+    }
 
     fn eval(p: &Poly, pairs: &[(&str, i128)]) -> i128 {
         let env: BTreeMap<String, i128> = pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
@@ -294,7 +346,7 @@ mod tests {
             .lt_param(0, "M")
             .ge0_var(1)
             .lt_param(1, "N");
-        let c = card_basic(&s, &ctx()).unwrap();
+        let c = card_basic_in(&engine(), &s, &ctx()).unwrap();
         assert_eq!(c.to_string(), "M*N");
         assert_eq!(eval(&c, &[("M", 6), ("N", 7)]), 42);
         assert_eq!(s.enumerate(&[("M", 6), ("N", 7)], 10).len(), 42);
@@ -308,7 +360,7 @@ mod tests {
             .lt_param(0, "N")
             .ge0_var(1)
             .le_var(1, 0);
-        let c = card_basic(&s, &ctx()).unwrap();
+        let c = card_basic_in(&engine(), &s, &ctx()).unwrap();
         assert_eq!(eval(&c, &[("N", 10)]), 55);
         assert_eq!(eval(&c, &[("N", 1)]), 1);
     }
@@ -334,7 +386,7 @@ mod tests {
                     .sub(&LinExpr::constant(n, 1)),
             ))
             .le_var(2, 1);
-        let c = card_basic(&s, &ctx()).unwrap();
+        let c = card_basic_in(&engine(), &s, &ctx()).unwrap();
         // N = 5: sum_{k=0}^{4} T(4-k) = 10 + 6 + 3 + 1 + 0 = 20 = 5*4*6/6.
         assert_eq!(eval(&c, &[("N", 5)]), 20);
         assert_eq!(eval(&c, &[("N", 10)]), 165);
@@ -347,7 +399,7 @@ mod tests {
             .fix_dim_to_param(0, "Omega")
             .ge0_var(1)
             .lt_param(1, "N");
-        let c = card_basic(&s, &ctx()).unwrap();
+        let c = card_basic_in(&engine(), &s, &ctx()).unwrap();
         assert_eq!(c.to_string(), "N");
     }
 
@@ -358,7 +410,7 @@ mod tests {
             .constrain(Constraint::ge0(
                 LinExpr::constant(1, 2).sub(&LinExpr::var(1, 0)),
             ));
-        assert_eq!(card_basic(&s, &ctx()).unwrap(), Poly::zero());
+        assert_eq!(card_basic_in(&engine(), &s, &ctx()).unwrap(), Poly::zero());
     }
 
     #[test]
@@ -372,7 +424,7 @@ mod tests {
             .ge0_var(1)
             .lt_param(1, "N")
             .constrain(Constraint::ge0(LinExpr::var(n, 1).sub(&LinExpr::var(n, 0))));
-        let c = card_basic(&s, &ctx()).unwrap();
+        let c = card_basic_in(&engine(), &s, &ctx()).unwrap();
         assert_eq!(eval(&c, &[("N", 4)]), 10);
     }
 
@@ -391,7 +443,7 @@ mod tests {
                     .sub(&LinExpr::var(arity, 0)),
             ));
         let u = a.to_set().union(&b.to_set());
-        let c = card(&u, &ctx()).unwrap();
+        let c = card_in(&engine(), &u, &ctx()).unwrap();
         assert_eq!(eval(&c, &[("N", 5)]), 8);
         assert_eq!(u.enumerate(&[("N", 5)], 20).len(), 8);
     }
@@ -417,7 +469,7 @@ mod tests {
         // Without knowing how T compares to N the count is genuinely
         // piecewise, so the exact counter declines.
         let weak = Context::empty().assume_ge("N", 20).assume_ge("T", 2);
-        assert!(card_basic(&s, &weak).is_none());
+        assert!(card_basic_in(&engine(), &s, &weak).is_none());
         // With the steady-state assumption 2T + 2 <= N the trapezoid count is
         // a single polynomial: Σ_{t=0}^{T-1} (N - 2t - 1).
         let context = Context::empty().assume_ge("T", 2).assume(Constraint::ge0(
@@ -425,7 +477,7 @@ mod tests {
                 .sub(&LinExpr::param(0, "T").scale(2))
                 .sub(&LinExpr::constant(0, 2)),
         ));
-        let c = card_basic(&s, &context).unwrap();
+        let c = card_basic_in(&engine(), &s, &context).unwrap();
         // N = 10, T = 3: t=0 -> i in [1,9] (9 pts); t=1 -> [2,8] (7); t=2 -> [3,7] (5).
         assert_eq!(eval(&c, &[("N", 10), ("T", 3)]), 21);
         assert_eq!(s.enumerate(&[("N", 10), ("T", 3)], 15).len(), 21);

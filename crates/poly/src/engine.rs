@@ -1,0 +1,383 @@
+//! The engine session: explicitly scoped polyhedral-engine state.
+//!
+//! Historically the engine kept its state in process-wide globals (a string
+//! interner, a query cache, operation counters). That is hostile to a
+//! long-running, multi-tenant service: caches grow without bound across
+//! unrelated requests, per-analysis statistics bleed between concurrent
+//! users, and tests cannot isolate engine state. [`EngineCtx`] packages the
+//! three pieces of state — the parameter [`interner`](crate::interner) table,
+//! the sharded query [`cache`](crate::cache) and the operation
+//! [`stats`](crate::stats) counters, each with configurable capacity — into
+//! one session object. Two sessions share **nothing**: dropping a session
+//! frees its cache, and its counters reflect exactly the work done inside it.
+//!
+//! ## Using a session
+//!
+//! The query-level entry points of the poly layer take the session
+//! explicitly (`fm::is_feasible_in`, `count::card_basic_in`, …). The
+//! object layer ([`BasicSet`](crate::BasicSet), [`Map`](crate::Map), the
+//! parser) resolves the **ambient** session instead, so existing call sites
+//! keep their signatures: [`EngineCtx::enter`] (or [`EngineCtx::scope`])
+//! installs a session as the current one for the calling thread, and every
+//! engine operation on that thread routes to it until the guard drops.
+//!
+//! ```
+//! use iolb_poly::{EngineCtx, parse_set, count};
+//!
+//! let session = EngineCtx::new();
+//! let card = session.scope(|| {
+//!     let s = parse_set("[N] -> { S[i] : 0 <= i < N }").unwrap();
+//!     count::card_basic_in(&EngineCtx::current(), &s, &count::Context::empty())
+//! });
+//! assert_eq!(card.unwrap().to_string(), "N");
+//! assert!(session.stats().COUNT_CALLS >= 1);
+//! ```
+//!
+//! ## Session binding
+//!
+//! Interned [`ParamId`]s are only meaningful inside the session that created
+//! them, so polyhedral objects (`LinExpr`, `BasicSet`, `Dfg`, …) are bound to
+//! their creation session. Build and analyse inside the same scope — the
+//! `iolb_core::Analyzer` does this by construction, preparing its workload
+//! *inside* the session it analyses in. Resolving a foreign id panics with a
+//! "different engine session" message rather than silently aliasing names.
+//!
+//! ## Compatibility
+//!
+//! Code that predates sessions (the deprecated free functions in
+//! [`interner`](crate::interner), [`cache`](crate::cache),
+//! [`stats`](crate::stats), [`fm`](crate::fm) and [`count`](crate::count))
+//! still compiles: outside any scope, the ambient session falls back to one
+//! process-wide **global session** (see [`EngineCtx::global`]), which is the
+//! only remaining `OnceLock` in this crate and exists purely as a
+//! deprecated-shim landing pad.
+
+use crate::cache::QueryCache;
+use crate::interner::{ParamId, ParamTable};
+use crate::stats::{Counters, Snapshot};
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Capacity configuration for a session (every piece of engine state is
+/// capped; a session can never grow without bound).
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Maximum number of memoized query results held across the three query
+    /// caches together (feasibility + entailment + cardinality). The budget
+    /// is split evenly over the cache shards (rounded up per shard, so the
+    /// effective ceiling is within one entry per shard). Once full, new
+    /// results are not stored; the cache never evicts, which keeps lookups
+    /// cheap and behaviour deterministic. 0 disables storage.
+    pub cache_capacity: usize,
+    /// Whether the query cache is consulted at all.
+    pub cache_enabled: bool,
+    /// Maximum number of distinct parameter names the session may intern.
+    pub interner_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            // 3 query kinds × 16 shards × 65 536 entries — the same
+            // effective per-shard cap as the PR-1 process-wide cache.
+            cache_capacity: 3 * 16 * 65_536,
+            cache_enabled: true,
+            interner_capacity: 4_096,
+        }
+    }
+}
+
+/// Session ids let [`ParamId`]s carry which session minted them, so
+/// cross-session misuse fails loudly instead of aliasing names. The counter
+/// is touched once per session creation, never on the analysis hot path.
+static NEXT_SESSION_ID: AtomicU32 = AtomicU32::new(1);
+
+/// One engine session: parameter interner + query cache + op counters.
+///
+/// See the [module docs](self) for the usage model. Sessions are cheap to
+/// create and internally synchronised (`&EngineCtx` is enough for every
+/// operation), so one `Arc<EngineCtx>` can serve a whole parallel analysis.
+pub struct EngineCtx {
+    id: u32,
+    config: EngineConfig,
+    interner: ParamTable,
+    cache: QueryCache,
+    stats: Counters,
+}
+
+impl std::fmt::Debug for EngineCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCtx")
+            .field("id", &self.id)
+            .field("interned_params", &self.interner.len())
+            .field("cache_entries", &self.cache.len())
+            .finish()
+    }
+}
+
+thread_local! {
+    /// The stack of entered sessions for this thread (a stack so scopes
+    /// nest; the top is the ambient session).
+    static CURRENT: RefCell<Vec<Arc<EngineCtx>>> = const { RefCell::new(Vec::new()) };
+}
+
+impl EngineCtx {
+    /// Creates a session with the default [`EngineConfig`].
+    pub fn new() -> Arc<EngineCtx> {
+        EngineCtx::with_config(EngineConfig::default())
+    }
+
+    /// Creates a session with explicit capacities.
+    pub fn with_config(config: EngineConfig) -> Arc<EngineCtx> {
+        let id = NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed);
+        Arc::new(EngineCtx {
+            id,
+            interner: ParamTable::new(id, config.interner_capacity),
+            cache: QueryCache::new(config.cache_capacity, config.cache_enabled),
+            stats: Counters::new(),
+            config,
+        })
+    }
+
+    /// The session's unique (process-local) id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The capacities the session was created with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    // --- ambient-session plumbing -------------------------------------
+
+    /// Installs this session as the calling thread's ambient session until
+    /// the returned guard is dropped. Scopes nest (the innermost wins).
+    pub fn enter(self: &Arc<Self>) -> EngineGuard {
+        CURRENT.with(|c| c.borrow_mut().push(self.clone()));
+        EngineGuard {
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Runs `f` with this session as the ambient session.
+    pub fn scope<R>(self: &Arc<Self>, f: impl FnOnce() -> R) -> R {
+        let _guard = self.enter();
+        f()
+    }
+
+    /// The calling thread's ambient session: the innermost entered scope,
+    /// or the process-wide [global](EngineCtx::global) fallback session.
+    pub fn current() -> Arc<EngineCtx> {
+        CURRENT
+            .with(|c| c.borrow().last().cloned())
+            .unwrap_or_else(|| EngineCtx::global().clone())
+    }
+
+    /// Runs `f` against the ambient session without cloning the `Arc` (the
+    /// hot-path accessor behind the object layer).
+    ///
+    /// `f` runs under a read borrow of the thread's scope stack, so it must
+    /// not call [`EngineCtx::enter`] (engine operations never do).
+    pub fn with_current<R>(f: impl FnOnce(&EngineCtx) -> R) -> R {
+        CURRENT.with(|c| {
+            let stack = c.borrow();
+            match stack.last() {
+                Some(engine) => f(engine),
+                None => f(EngineCtx::global()),
+            }
+        })
+    }
+
+    /// True when some session scope is active on this thread (i.e. the
+    /// ambient session is not the global fallback).
+    pub fn in_scope() -> bool {
+        CURRENT.with(|c| !c.borrow().is_empty())
+    }
+
+    // --- interner facade ----------------------------------------------
+
+    /// Interns a parameter name in this session, returning its stable id
+    /// (idempotent within the session).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session's interner capacity is exhausted.
+    pub fn intern(&self, name: &str) -> ParamId {
+        self.interner.intern(name)
+    }
+
+    /// Looks a name up without interning it.
+    pub fn lookup(&self, name: &str) -> Option<ParamId> {
+        self.interner.lookup(name)
+    }
+
+    /// Resolves an id minted by this session back to its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id belongs to a different session (see the module docs
+    /// on session binding).
+    pub fn resolve(&self, id: ParamId) -> Arc<str> {
+        self.interner.resolve(id)
+    }
+
+    /// Resolves an id if (and only if) it belongs to this session.
+    pub fn try_resolve(&self, id: ParamId) -> Option<Arc<str>> {
+        self.interner.try_resolve(id)
+    }
+
+    /// Sorts ids by their names (the deterministic, user-visible order).
+    pub fn sort_ids_by_name(&self, ids: &mut [ParamId]) {
+        self.interner.sort_ids_by_name(ids)
+    }
+
+    /// Number of parameter names interned so far.
+    pub fn interned_params(&self) -> usize {
+        self.interner.len()
+    }
+
+    // --- cache facade --------------------------------------------------
+
+    /// Enables or disables the query cache. Disabling also **clears** the
+    /// stored entries: a disabled cache holds no memory (this fixed a leak
+    /// where `set_enabled(false)` left stale entries resident forever).
+    pub fn set_cache_enabled(&self, enabled: bool) {
+        self.cache.set_enabled(enabled);
+        if !enabled {
+            self.cache.clear();
+        }
+    }
+
+    /// True when the query cache is consulted.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_enabled()
+    }
+
+    /// Drops every memoized query result (capacity is retained).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Number of memoized query results currently stored.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The session's total cache capacity (entries across all query kinds).
+    pub fn cache_capacity(&self) -> usize {
+        self.config.cache_capacity
+    }
+
+    pub(crate) fn query_cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    // --- stats facade ---------------------------------------------------
+
+    /// A point-in-time snapshot of the session's operation counters.
+    pub fn stats(&self) -> Snapshot {
+        self.stats.snapshot()
+    }
+
+    /// Resets the session's operation counters to zero.
+    pub fn reset_stats(&self) {
+        self.stats.reset()
+    }
+
+    pub(crate) fn counters(&self) -> &Counters {
+        &self.stats
+    }
+
+    // --- deprecated global compatibility shim ---------------------------
+
+    /// The process-wide fallback session used by threads that have not
+    /// entered a scope. This exists so the deprecated free functions (and
+    /// code written before sessions) keep working; new code should create
+    /// its own session. This `OnceLock` is the compatibility shim's storage
+    /// and is only consulted when no scope is active.
+    pub fn global() -> &'static Arc<EngineCtx> {
+        static GLOBAL: std::sync::OnceLock<Arc<EngineCtx>> = std::sync::OnceLock::new();
+        GLOBAL.get_or_init(EngineCtx::new)
+    }
+}
+
+/// Guard returned by [`EngineCtx::enter`]; pops the session on drop.
+///
+/// Deliberately `!Send`: a scope belongs to the thread that opened it.
+#[must_use = "the session is only ambient while the guard is alive"]
+pub struct EngineGuard {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for EngineGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_have_distinct_ids_and_state() {
+        let a = EngineCtx::new();
+        let b = EngineCtx::new();
+        assert_ne!(a.id(), b.id());
+        let id = a.intern("N");
+        assert_eq!(&*a.resolve(id), "N");
+        // b knows nothing about a's names.
+        assert!(b.lookup("N").is_none());
+        assert!(b.try_resolve(id).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different engine session")]
+    fn foreign_ids_fail_loudly() {
+        let a = EngineCtx::new();
+        let b = EngineCtx::new();
+        let id = a.intern("N");
+        let _ = b.resolve(id);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let outer = EngineCtx::new();
+        let inner = EngineCtx::new();
+        outer.scope(|| {
+            assert_eq!(EngineCtx::current().id(), outer.id());
+            inner.scope(|| {
+                assert_eq!(EngineCtx::current().id(), inner.id());
+            });
+            assert_eq!(EngineCtx::current().id(), outer.id());
+        });
+        // Outside any scope the global fallback is ambient.
+        assert_eq!(EngineCtx::current().id(), EngineCtx::global().id());
+    }
+
+    #[test]
+    fn disabling_the_cache_clears_it() {
+        let e = EngineCtx::new();
+        e.query_cache().feasibility(e.counters(), &[], 0, || true);
+        assert_eq!(e.cache_len(), 1);
+        e.set_cache_enabled(false);
+        assert_eq!(e.cache_len(), 0, "stale entries must not stay resident");
+        assert!(!e.cache_enabled());
+    }
+
+    #[test]
+    fn capacity_is_configurable_and_enforced() {
+        let e = EngineCtx::with_config(EngineConfig {
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        });
+        e.query_cache().feasibility(e.counters(), &[], 0, || true);
+        assert_eq!(e.cache_len(), 0, "zero-capacity cache stores nothing");
+        assert_eq!(e.cache_capacity(), 0);
+    }
+}

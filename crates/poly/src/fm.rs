@@ -15,9 +15,14 @@
 //! integer set. All IOLB uses of projection are either feasibility checks
 //! (safe direction, see above) or eliminations of variables with unit
 //! coefficients, for which Fourier–Motzkin is exact on the integers.
+//!
+//! Every query-level entry point takes the engine session explicitly (the
+//! `_in` functions); the session supplies the query cache, the operation
+//! counters and the parameter interner. The suffix-less free functions are
+//! deprecated shims over the ambient session.
 
 use crate::affine::{Constraint, ConstraintKind, LinExpr};
-use crate::{cache, stats};
+use crate::engine::EngineCtx;
 use iolb_math::gcd;
 use std::collections::BTreeSet;
 
@@ -105,14 +110,22 @@ pub(crate) fn prune(constraints: Vec<Constraint>) -> Vec<Constraint> {
 /// Eliminates variable `idx` from a constraint system over `nvars` positional
 /// variables, returning a system over `nvars - 1` variables (the variable's
 /// column is removed).
-pub fn eliminate_var(constraints: &[Constraint], idx: usize) -> Vec<Constraint> {
-    eliminate_var_owned(constraints.to_vec(), idx)
+pub fn eliminate_var_in(
+    engine: &EngineCtx,
+    constraints: &[Constraint],
+    idx: usize,
+) -> Vec<Constraint> {
+    eliminate_var_owned_in(engine, constraints.to_vec(), idx)
 }
 
-/// Owned variant of [`eliminate_var`]: consumes the system and reuses its
+/// Owned variant of [`eliminate_var_in`]: consumes the system and reuses its
 /// allocations for every constraint the variable does not occur in.
-pub fn eliminate_var_owned(constraints: Vec<Constraint>, idx: usize) -> Vec<Constraint> {
-    stats::bump(&stats::FM_ELIMINATIONS);
+pub fn eliminate_var_owned_in(
+    engine: &EngineCtx,
+    constraints: Vec<Constraint>,
+    idx: usize,
+) -> Vec<Constraint> {
+    engine.counters().bump_fm_elimination();
     // First try to use an equality to substitute the variable away.
     let eq_pos = constraints
         .iter()
@@ -177,23 +190,27 @@ pub fn eliminate_var_owned(constraints: Vec<Constraint>, idx: usize) -> Vec<Cons
 
 /// Eliminates several variables (indices into the current system, highest
 /// first to keep indices stable).
-pub fn eliminate_vars(constraints: &[Constraint], mut idxs: Vec<usize>) -> Vec<Constraint> {
+pub fn eliminate_vars_in(
+    engine: &EngineCtx,
+    constraints: &[Constraint],
+    mut idxs: Vec<usize>,
+) -> Vec<Constraint> {
     idxs.sort_unstable();
     idxs.dedup();
     let mut cur = constraints.to_vec();
     for &idx in idxs.iter().rev() {
-        cur = eliminate_var_owned(cur, idx);
+        cur = eliminate_var_owned_in(engine, cur, idx);
     }
     cur
 }
 
 /// Collects every parameter name appearing in the constraints, sorted by
 /// name.
-pub fn collect_params(constraints: &[Constraint]) -> Vec<String> {
+pub fn collect_params_in(engine: &EngineCtx, constraints: &[Constraint]) -> Vec<String> {
     let mut out: BTreeSet<String> = BTreeSet::new();
     for c in constraints {
         for &(id, _) in &c.expr.param_coeffs {
-            out.insert(id.name().to_string());
+            out.insert(engine.resolve(id).to_string());
         }
     }
     out.into_iter().collect()
@@ -203,7 +220,11 @@ pub fn collect_params(constraints: &[Constraint]) -> Vec<String> {
 /// feasibility can be decided purely over positional variables. Accepts the
 /// system as a list of parts so callers can append hypotheses (e.g. a negated
 /// entailment target) without materialising a combined vector.
-fn parametrize_parts(parts: &[&[Constraint]], nvars: usize) -> (Vec<Constraint>, usize) {
+fn parametrize_parts(
+    engine: &EngineCtx,
+    parts: &[&[Constraint]],
+    nvars: usize,
+) -> (Vec<Constraint>, usize) {
     let mut ids: Vec<crate::interner::ParamId> = Vec::new();
     for part in parts {
         for c in *part {
@@ -214,7 +235,7 @@ fn parametrize_parts(parts: &[&[Constraint]], nvars: usize) -> (Vec<Constraint>,
             }
         }
     }
-    crate::interner::sort_ids_by_name(&mut ids);
+    engine.sort_ids_by_name(&mut ids);
     let total = nvars + ids.len();
     let out = parts
         .iter()
@@ -242,14 +263,18 @@ fn parametrize_parts(parts: &[&[Constraint]], nvars: usize) -> (Vec<Constraint>,
 ///
 /// Returns `false` only when the system has no rational solution for any
 /// parameter values (and hence certainly no integer solution).
-pub fn is_feasible(constraints: &[Constraint], nvars: usize) -> bool {
-    stats::bump(&stats::FEASIBILITY_CHECKS);
-    cache::feasibility(constraints, nvars, || feasible_raw(&[constraints], nvars))
+pub fn is_feasible_in(engine: &EngineCtx, constraints: &[Constraint], nvars: usize) -> bool {
+    engine.counters().bump_feasibility_check();
+    engine
+        .query_cache()
+        .feasibility(engine.counters(), constraints, nvars, || {
+            feasible_raw(engine, &[constraints], nvars)
+        })
 }
 
 /// The uncached feasibility kernel over a system given in parts.
-fn feasible_raw(parts: &[&[Constraint]], nvars: usize) -> bool {
-    let (mut cur, total) = parametrize_parts(parts, nvars);
+fn feasible_raw(engine: &EngineCtx, parts: &[&[Constraint]], nvars: usize) -> bool {
+    let (mut cur, total) = parametrize_parts(engine, parts, nvars);
     cur = prune(cur);
     if cur.iter().any(|c| c.is_trivially_false()) {
         return false;
@@ -259,7 +284,7 @@ fn feasible_raw(parts: &[&[Constraint]], nvars: usize) -> bool {
             // No constraints left: every remaining variable is free.
             return true;
         }
-        cur = eliminate_var_owned(cur, idx);
+        cur = eliminate_var_owned_in(engine, cur, idx);
         if cur.iter().any(|c| c.is_trivially_false()) {
             return false;
         }
@@ -271,32 +296,83 @@ fn feasible_raw(parts: &[&[Constraint]], nvars: usize) -> bool {
 /// satisfies the target constraint), parameters universally quantified.
 ///
 /// Sound but not complete: a `true` answer is always correct.
+pub fn implies_in(
+    engine: &EngineCtx,
+    constraints: &[Constraint],
+    nvars: usize,
+    target: &Constraint,
+) -> bool {
+    engine.counters().bump_entailment_check();
+    engine
+        .query_cache()
+        .entailment(engine.counters(), constraints, nvars, target, || {
+            match target.kind {
+                ConstraintKind::Inequality => {
+                    // constraints ∧ (target < 0) infeasible, i.e. target <= -1.
+                    // Calls the raw kernel: the entailment cache above already
+                    // keys this exact query, so a second (feasibility-keyed)
+                    // lookup of the augmented system would only add
+                    // fingerprint overhead.
+                    let mut neg = target.expr.scale(-1);
+                    neg.constant -= 1;
+                    !feasible_raw(
+                        engine,
+                        &[constraints, std::slice::from_ref(&Constraint::ge0(neg))],
+                        nvars,
+                    )
+                }
+                ConstraintKind::Equality => {
+                    let ge = Constraint::ge0(target.expr.clone());
+                    let le = Constraint::ge0(target.expr.scale(-1));
+                    implies_in(engine, constraints, nvars, &ge)
+                        && implies_in(engine, constraints, nvars, &le)
+                }
+            }
+        })
+}
+
+// --- deprecated global shims -----------------------------------------------
+
+/// [`eliminate_var_in`] against the **ambient** session.
+#[deprecated(note = "use eliminate_var_in with an explicit EngineCtx")]
+pub fn eliminate_var(constraints: &[Constraint], idx: usize) -> Vec<Constraint> {
+    EngineCtx::with_current(|e| eliminate_var_in(e, constraints, idx))
+}
+
+/// [`eliminate_var_owned_in`] against the **ambient** session.
+#[deprecated(note = "use eliminate_var_owned_in with an explicit EngineCtx")]
+pub fn eliminate_var_owned(constraints: Vec<Constraint>, idx: usize) -> Vec<Constraint> {
+    EngineCtx::with_current(|e| eliminate_var_owned_in(e, constraints, idx))
+}
+
+/// [`eliminate_vars_in`] against the **ambient** session.
+#[deprecated(note = "use eliminate_vars_in with an explicit EngineCtx")]
+pub fn eliminate_vars(constraints: &[Constraint], idxs: Vec<usize>) -> Vec<Constraint> {
+    EngineCtx::with_current(|e| eliminate_vars_in(e, constraints, idxs))
+}
+
+/// [`collect_params_in`] against the **ambient** session.
+#[deprecated(note = "use collect_params_in with an explicit EngineCtx")]
+pub fn collect_params(constraints: &[Constraint]) -> Vec<String> {
+    EngineCtx::with_current(|e| collect_params_in(e, constraints))
+}
+
+/// [`is_feasible_in`] against the **ambient** session.
+#[deprecated(note = "use is_feasible_in with an explicit EngineCtx")]
+pub fn is_feasible(constraints: &[Constraint], nvars: usize) -> bool {
+    EngineCtx::with_current(|e| is_feasible_in(e, constraints, nvars))
+}
+
+/// [`implies_in`] against the **ambient** session.
+#[deprecated(note = "use implies_in with an explicit EngineCtx")]
 pub fn implies(constraints: &[Constraint], nvars: usize, target: &Constraint) -> bool {
-    stats::bump(&stats::ENTAILMENT_CHECKS);
-    cache::entailment(constraints, nvars, target, || match target.kind {
-        ConstraintKind::Inequality => {
-            // constraints ∧ (target < 0) infeasible, i.e. target <= -1.
-            // Calls the raw kernel: the entailment cache above already keys
-            // this exact query, so a second (feasibility-keyed) lookup of the
-            // augmented system would only add fingerprint overhead.
-            let mut neg = target.expr.scale(-1);
-            neg.constant -= 1;
-            !feasible_raw(
-                &[constraints, std::slice::from_ref(&Constraint::ge0(neg))],
-                nvars,
-            )
-        }
-        ConstraintKind::Equality => {
-            let ge = Constraint::ge0(target.expr.clone());
-            let le = Constraint::ge0(target.expr.scale(-1));
-            implies(constraints, nvars, &ge) && implies(constraints, nvars, &le)
-        }
-    })
+    EngineCtx::with_current(|e| implies_in(e, constraints, nvars, target))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn var(n: usize, i: usize) -> LinExpr {
         LinExpr::var(n, i)
@@ -304,99 +380,132 @@ mod tests {
     fn cst(n: usize, c: i128) -> LinExpr {
         LinExpr::constant(n, c)
     }
+
+    /// Runs a test body inside a fresh session (so parameter construction
+    /// and the queries agree on one interner).
+    fn in_session(f: impl FnOnce(&Arc<EngineCtx>)) {
+        let engine = EngineCtx::new();
+        engine.clone().scope(|| f(&engine));
+    }
+
     fn par(n: usize, p: &str) -> LinExpr {
         LinExpr::param(n, p)
     }
 
     #[test]
     fn feasible_box() {
-        // 0 <= x < N (with N symbolic) is feasible.
-        let cs = vec![
-            Constraint::ge0(var(1, 0)),
-            Constraint::ge0(par(1, "N").sub(&var(1, 0)).sub(&cst(1, 1))),
-        ];
-        assert!(is_feasible(&cs, 1));
+        in_session(|e| {
+            // 0 <= x < N (with N symbolic) is feasible.
+            let cs = vec![
+                Constraint::ge0(var(1, 0)),
+                Constraint::ge0(par(1, "N").sub(&var(1, 0)).sub(&cst(1, 1))),
+            ];
+            assert!(is_feasible_in(e, &cs, 1));
+            assert_eq!(e.stats().FEASIBILITY_CHECKS, 1);
+        });
     }
 
     #[test]
     fn infeasible_contradiction() {
-        // x >= 5 and x <= 2.
-        let cs = vec![
-            Constraint::ge0(var(1, 0).sub(&cst(1, 5))),
-            Constraint::ge0(cst(1, 2).sub(&var(1, 0))),
-        ];
-        assert!(!is_feasible(&cs, 1));
+        in_session(|e| {
+            // x >= 5 and x <= 2.
+            let cs = vec![
+                Constraint::ge0(var(1, 0).sub(&cst(1, 5))),
+                Constraint::ge0(cst(1, 2).sub(&var(1, 0))),
+            ];
+            assert!(!is_feasible_in(e, &cs, 1));
+        });
     }
 
     #[test]
     fn infeasible_with_params() {
-        // x >= N and x <= N - 1 is infeasible for every N.
-        let cs = vec![
-            Constraint::ge0(var(1, 0).sub(&par(1, "N"))),
-            Constraint::ge0(par(1, "N").sub(&cst(1, 1)).sub(&var(1, 0))),
-        ];
-        assert!(!is_feasible(&cs, 1));
+        in_session(|e| {
+            // x >= N and x <= N - 1 is infeasible for every N.
+            let cs = vec![
+                Constraint::ge0(var(1, 0).sub(&par(1, "N"))),
+                Constraint::ge0(par(1, "N").sub(&cst(1, 1)).sub(&var(1, 0))),
+            ];
+            assert!(!is_feasible_in(e, &cs, 1));
+        });
     }
 
     #[test]
     fn elimination_projects_rectangle() {
-        // {(x, y) : 0 <= x <= 3, x <= y <= x + 2}; eliminating y gives 0 <= x <= 3.
-        let cs = vec![
-            Constraint::ge0(var(2, 0)),
-            Constraint::ge0(cst(2, 3).sub(&var(2, 0))),
-            Constraint::ge0(var(2, 1).sub(&var(2, 0))),
-            Constraint::ge0(var(2, 0).add(&cst(2, 2)).sub(&var(2, 1))),
-        ];
-        let projected = eliminate_var(&cs, 1);
-        assert!(is_feasible(&projected, 1));
-        // x = 5 violates the projection.
-        let mut with_point = projected.clone();
-        with_point.push(Constraint::eq(var(1, 0).sub(&cst(1, 5))));
-        assert!(!is_feasible(&with_point, 1));
-        // x = 2 satisfies it.
-        let mut ok = projected;
-        ok.push(Constraint::eq(var(1, 0).sub(&cst(1, 2))));
-        assert!(is_feasible(&ok, 1));
+        in_session(|e| {
+            // {(x, y) : 0 <= x <= 3, x <= y <= x + 2}; eliminating y gives 0 <= x <= 3.
+            let cs = vec![
+                Constraint::ge0(var(2, 0)),
+                Constraint::ge0(cst(2, 3).sub(&var(2, 0))),
+                Constraint::ge0(var(2, 1).sub(&var(2, 0))),
+                Constraint::ge0(var(2, 0).add(&cst(2, 2)).sub(&var(2, 1))),
+            ];
+            let projected = eliminate_var_in(e, &cs, 1);
+            assert!(is_feasible_in(e, &projected, 1));
+            // x = 5 violates the projection.
+            let mut with_point = projected.clone();
+            with_point.push(Constraint::eq(var(1, 0).sub(&cst(1, 5))));
+            assert!(!is_feasible_in(e, &with_point, 1));
+            // x = 2 satisfies it.
+            let mut ok = projected;
+            ok.push(Constraint::eq(var(1, 0).sub(&cst(1, 2))));
+            assert!(is_feasible_in(e, &ok, 1));
+        });
     }
 
     #[test]
     fn elimination_uses_equalities() {
-        // {(x, y) : y = x + 1, 0 <= y <= 4} projected on x gives -1 <= x <= 3.
-        let cs = vec![
-            Constraint::eq(var(2, 1).sub(&var(2, 0)).sub(&cst(2, 1))),
-            Constraint::ge0(var(2, 1)),
-            Constraint::ge0(cst(2, 4).sub(&var(2, 1))),
-        ];
-        let projected = eliminate_var(&cs, 1);
-        let mut lo = projected.clone();
-        lo.push(Constraint::eq(var(1, 0).add(&cst(1, 1))));
-        assert!(is_feasible(&lo, 1)); // x = -1 allowed
-        let mut hi = projected.clone();
-        hi.push(Constraint::eq(var(1, 0).sub(&cst(1, 4))));
-        assert!(!is_feasible(&hi, 1)); // x = 4 excluded
+        in_session(|e| {
+            // {(x, y) : y = x + 1, 0 <= y <= 4} projected on x gives -1 <= x <= 3.
+            let cs = vec![
+                Constraint::eq(var(2, 1).sub(&var(2, 0)).sub(&cst(2, 1))),
+                Constraint::ge0(var(2, 1)),
+                Constraint::ge0(cst(2, 4).sub(&var(2, 1))),
+            ];
+            let projected = eliminate_var_in(e, &cs, 1);
+            let mut lo = projected.clone();
+            lo.push(Constraint::eq(var(1, 0).add(&cst(1, 1))));
+            assert!(is_feasible_in(e, &lo, 1)); // x = -1 allowed
+            let mut hi = projected.clone();
+            hi.push(Constraint::eq(var(1, 0).sub(&cst(1, 4))));
+            assert!(!is_feasible_in(e, &hi, 1)); // x = 4 excluded
+        });
     }
 
     #[test]
     fn implication_with_context() {
-        // In {0 <= i < N, N >= 10}, the constraint i <= N + 5 is implied.
-        let cs = vec![
-            Constraint::ge0(var(1, 0)),
-            Constraint::ge0(par(1, "N").sub(&var(1, 0)).sub(&cst(1, 1))),
-            Constraint::ge0(par(1, "N").sub(&cst(1, 10))),
-        ];
-        let target = Constraint::ge0(par(1, "N").add(&cst(1, 5)).sub(&var(1, 0)));
-        assert!(implies(&cs, 1, &target));
-        // But i >= 1 is not implied (i = 0 is allowed).
-        let not_implied = Constraint::ge0(var(1, 0).sub(&cst(1, 1)));
-        assert!(!implies(&cs, 1, &not_implied));
+        in_session(|e| {
+            // In {0 <= i < N, N >= 10}, the constraint i <= N + 5 is implied.
+            let cs = vec![
+                Constraint::ge0(var(1, 0)),
+                Constraint::ge0(par(1, "N").sub(&var(1, 0)).sub(&cst(1, 1))),
+                Constraint::ge0(par(1, "N").sub(&cst(1, 10))),
+            ];
+            let target = Constraint::ge0(par(1, "N").add(&cst(1, 5)).sub(&var(1, 0)));
+            assert!(implies_in(e, &cs, 1, &target));
+            // But i >= 1 is not implied (i = 0 is allowed).
+            let not_implied = Constraint::ge0(var(1, 0).sub(&cst(1, 1)));
+            assert!(!implies_in(e, &cs, 1, &not_implied));
+        });
     }
 
     #[test]
     fn implication_of_equality() {
-        // {x = 3} implies x = 3 and not x = 4.
-        let cs = vec![Constraint::eq(var(1, 0).sub(&cst(1, 3)))];
-        assert!(implies(&cs, 1, &Constraint::eq(var(1, 0).sub(&cst(1, 3)))));
-        assert!(!implies(&cs, 1, &Constraint::eq(var(1, 0).sub(&cst(1, 4)))));
+        in_session(|e| {
+            // {x = 3} implies x = 3 and not x = 4.
+            let cs = vec![Constraint::eq(var(1, 0).sub(&cst(1, 3)))];
+            assert!(implies_in(
+                e,
+                &cs,
+                1,
+                &Constraint::eq(var(1, 0).sub(&cst(1, 3)))
+            ));
+            assert!(!implies_in(
+                e,
+                &cs,
+                1,
+                &Constraint::eq(var(1, 0).sub(&cst(1, 4)))
+            ));
+        });
     }
 
     #[test]
@@ -410,19 +519,31 @@ mod tests {
 
     #[test]
     fn eliminate_vars_multi() {
-        // {(x, y, z) : x = y, y = z, 0 <= z <= 2} projected to x.
-        let cs = vec![
-            Constraint::eq(var(3, 0).sub(&var(3, 1))),
-            Constraint::eq(var(3, 1).sub(&var(3, 2))),
-            Constraint::ge0(var(3, 2)),
-            Constraint::ge0(cst(3, 2).sub(&var(3, 2))),
-        ];
-        let projected = eliminate_vars(&cs, vec![1, 2]);
-        let mut ok = projected.clone();
-        ok.push(Constraint::eq(var(1, 0).sub(&cst(1, 2))));
-        assert!(is_feasible(&ok, 1));
-        let mut bad = projected;
-        bad.push(Constraint::eq(var(1, 0).sub(&cst(1, 3))));
-        assert!(!is_feasible(&bad, 1));
+        in_session(|e| {
+            // {(x, y, z) : x = y, y = z, 0 <= z <= 2} projected to x.
+            let cs = vec![
+                Constraint::eq(var(3, 0).sub(&var(3, 1))),
+                Constraint::eq(var(3, 1).sub(&var(3, 2))),
+                Constraint::ge0(var(3, 2)),
+                Constraint::ge0(cst(3, 2).sub(&var(3, 2))),
+            ];
+            let projected = eliminate_vars_in(e, &cs, vec![1, 2]);
+            let mut ok = projected.clone();
+            ok.push(Constraint::eq(var(1, 0).sub(&cst(1, 2))));
+            assert!(is_feasible_in(e, &ok, 1));
+            let mut bad = projected;
+            bad.push(Constraint::eq(var(1, 0).sub(&cst(1, 3))));
+            assert!(!is_feasible_in(e, &bad, 1));
+        });
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_answer() {
+        in_session(|e| {
+            let cs = vec![Constraint::ge0(var(1, 0))];
+            assert_eq!(is_feasible(&cs, 1), is_feasible_in(e, &cs, 1));
+            assert_eq!(collect_params(&cs), collect_params_in(e, &cs));
+        });
     }
 }

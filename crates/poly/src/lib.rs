@@ -5,6 +5,11 @@
 //!
 //! The crate provides:
 //!
+//! * [`EngineCtx`] — an **engine session**: the parameter interner, the
+//!   query cache and the operation counters, each with configurable
+//!   capacity. Two sessions share nothing; enter one with
+//!   [`EngineCtx::scope`] and every engine operation on the thread routes to
+//!   it (see [`engine`] for the full model);
 //! * [`Space`], [`LinExpr`], [`Constraint`] — named tuple spaces and integer
 //!   affine constraints;
 //! * [`BasicSet`] / [`Set`] / [`UnionSet`] — parametric Z-polyhedra, their
@@ -21,17 +26,22 @@
 //! ## Example
 //!
 //! ```
-//! use iolb_poly::{parse_map, parse_set, count};
+//! use iolb_poly::{count, parse_map, parse_set, EngineCtx};
 //!
-//! let domain = parse_set("[M, N] -> { S[t, i] : 0 <= t < M and 0 <= i < N }").unwrap();
-//! let ctx = count::Context::empty().assume_ge("M", 1).assume_ge("N", 1);
-//! let card = count::card_basic(&domain, &ctx).unwrap();
-//! assert_eq!(card.to_string(), "M*N");
+//! let session = EngineCtx::new();
+//! session.scope(|| {
+//!     let domain = parse_set("[M, N] -> { S[t, i] : 0 <= t < M and 0 <= i < N }").unwrap();
+//!     let ctx = count::Context::empty().assume_ge("M", 1).assume_ge("N", 1);
+//!     let card = count::card_basic_in(&EngineCtx::current(), &domain, &ctx).unwrap();
+//!     assert_eq!(card.to_string(), "M*N");
 //!
-//! let dep = parse_map(
-//!     "[M, N] -> { S[t, i] -> S[t + 1, i] : 0 <= t < M - 1 and 0 <= i < N }",
-//! ).unwrap();
-//! assert_eq!(dep.translation_offsets(), Some(vec![1, 0]));
+//!     let dep = parse_map(
+//!         "[M, N] -> { S[t, i] -> S[t + 1, i] : 0 <= t < M - 1 and 0 <= i < N }",
+//!     ).unwrap();
+//!     assert_eq!(dep.translation_offsets(), Some(vec![1, 0]));
+//! });
+//! // The session's stats reflect exactly the work done inside it.
+//! assert!(session.stats().COUNT_CALLS >= 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -41,6 +51,7 @@ pub mod basic_map;
 pub mod basic_set;
 pub mod cache;
 pub mod count;
+pub mod engine;
 pub mod fm;
 pub mod fxhash;
 pub mod interner;
@@ -54,6 +65,7 @@ pub use affine::{Constraint, ConstraintKind, LinExpr};
 pub use basic_map::{AffineFunction, BasicMap};
 pub use basic_set::BasicSet;
 pub use count::Context;
+pub use engine::{EngineConfig, EngineCtx, EngineGuard};
 pub use map::Map;
 pub use parser::{parse_map, parse_set, ParseError};
 pub use set::{Set, UnionSet};

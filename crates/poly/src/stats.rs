@@ -1,79 +1,191 @@
-//! Engine-operation counters.
+//! Engine-operation counters, scoped to a session.
 //!
-//! Cheap global `AtomicU64` tallies of the polyhedral engine's hot
-//! operations (feasibility checks, entailment checks, variable eliminations,
-//! symbolic counts) and of the [`crate::cache`] hit rates. The `perf_report`
-//! binary snapshots these alongside wall-clock times so that perf regressions
-//! show up as *operation-count* regressions too, which are stable across
+//! Each [`EngineCtx`](crate::engine::EngineCtx) owns one set of [`Counters`]:
+//! cheap `AtomicU64` tallies of the polyhedral engine's hot operations
+//! (feasibility checks, entailment checks, variable eliminations, symbolic
+//! counts) and of the [`crate::cache`] hit rates. Because the counters live
+//! in the session, concurrent analyses report **disjoint** statistics — one
+//! user's work never inflates another's numbers. The `perf_report` binary
+//! snapshots these alongside wall-clock times so that perf regressions show
+//! up as *operation-count* regressions too, which are stable across
 //! machines.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 macro_rules! counters {
-    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
-        $( $(#[$doc])* pub static $name: AtomicU64 = AtomicU64::new(0); )+
+    ($($(#[$doc:meta])* $NAME:ident / $field:ident / $bump:ident),+ $(,)?) => {
+        /// One session's operation counters (all relaxed atomics).
+        #[derive(Default)]
+        pub struct Counters {
+            $( $(#[$doc])* $field: AtomicU64, )+
+        }
+
+        impl Counters {
+            /// Fresh zeroed counters.
+            pub fn new() -> Self {
+                Counters::default()
+            }
+
+            $(
+                #[inline]
+                pub(crate) fn $bump(&self) {
+                    self.$field.fetch_add(1, Ordering::Relaxed);
+                }
+            )+
+
+            /// Reads every counter (relaxed; values are advisory).
+            pub fn snapshot(&self) -> Snapshot {
+                Snapshot { $( $NAME: self.$field.load(Ordering::Relaxed), )+ }
+            }
+
+            /// Resets every counter to zero.
+            pub fn reset(&self) {
+                $( self.$field.store(0, Ordering::Relaxed); )+
+            }
+        }
 
         /// A point-in-time snapshot of every engine counter.
         #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
         #[allow(non_snake_case)]
         pub struct Snapshot {
-            $( $(#[$doc])* pub $name: u64, )+
-        }
-
-        /// Reads every counter (relaxed; values are advisory).
-        pub fn snapshot() -> Snapshot {
-            Snapshot { $( $name: $name.load(Ordering::Relaxed), )+ }
-        }
-
-        /// Resets every counter to zero.
-        pub fn reset() {
-            $( $name.store(0, Ordering::Relaxed); )+
+            $( $(#[$doc])* pub $NAME: u64, )+
         }
 
         impl Snapshot {
             /// The counters as `(name, value)` pairs, in declaration order.
             pub fn as_pairs(&self) -> Vec<(&'static str, u64)> {
-                vec![ $( (stringify!($name), self.$name), )+ ]
+                vec![ $( (stringify!($NAME), self.$NAME), )+ ]
+            }
+
+            /// The counter increments between `earlier` and `self`
+            /// (saturating, so a reset in between yields zeros rather than
+            /// wrapping).
+            pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+                Snapshot { $( $NAME: self.$NAME.saturating_sub(earlier.$NAME), )+ }
             }
         }
     };
 }
 
 counters! {
-    /// Rational feasibility checks performed (`fm::is_feasible` calls).
-    FEASIBILITY_CHECKS,
+    /// Rational feasibility checks performed (`fm::is_feasible_in` calls).
+    FEASIBILITY_CHECKS / feasibility_checks / bump_feasibility_check,
     /// Feasibility checks answered from the cache.
-    FEASIBILITY_CACHE_HITS,
-    /// Entailment checks performed (`fm::implies` calls).
-    ENTAILMENT_CHECKS,
+    FEASIBILITY_CACHE_HITS / feasibility_cache_hits / bump_feasibility_cache_hit,
+    /// Entailment checks performed (`fm::implies_in` calls).
+    ENTAILMENT_CHECKS / entailment_checks / bump_entailment_check,
     /// Entailment checks answered from the cache.
-    ENTAILMENT_CACHE_HITS,
+    ENTAILMENT_CACHE_HITS / entailment_cache_hits / bump_entailment_cache_hit,
     /// Single-variable Fourier–Motzkin eliminations performed.
-    FM_ELIMINATIONS,
-    /// Symbolic cardinality computations (`count::card_basic` calls).
-    COUNT_CALLS,
+    FM_ELIMINATIONS / fm_eliminations / bump_fm_elimination,
+    /// Symbolic cardinality computations (`count::card_basic_in` calls).
+    COUNT_CALLS / count_calls / bump_count_call,
     /// Cardinality computations answered from the cache.
-    COUNT_CACHE_HITS,
+    COUNT_CACHE_HITS / count_cache_hits / bump_count_cache_hit,
 }
 
-/// Bumps a counter by one (relaxed ordering; used from the engine hot paths).
-#[inline]
-pub fn bump(counter: &AtomicU64) {
-    counter.fetch_add(1, Ordering::Relaxed);
+fn rate(hits: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+impl Snapshot {
+    /// Fraction of feasibility checks answered from the cache.
+    pub fn feasibility_hit_rate(&self) -> f64 {
+        rate(self.FEASIBILITY_CACHE_HITS, self.FEASIBILITY_CHECKS)
+    }
+
+    /// Fraction of entailment checks answered from the cache.
+    pub fn entailment_hit_rate(&self) -> f64 {
+        rate(self.ENTAILMENT_CACHE_HITS, self.ENTAILMENT_CHECKS)
+    }
+
+    /// Fraction of cardinality computations answered from the cache.
+    pub fn count_hit_rate(&self) -> f64 {
+        rate(self.COUNT_CACHE_HITS, self.COUNT_CALLS)
+    }
+
+    /// The three per-query-kind cache hit rates as `(name, rate)` pairs
+    /// (serialised into `BENCH_analysis.json` per session).
+    pub fn hit_rates(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("feasibility_hit_rate", self.feasibility_hit_rate()),
+            ("entailment_hit_rate", self.entailment_hit_rate()),
+            ("count_hit_rate", self.count_hit_rate()),
+        ]
+    }
+}
+
+// --- deprecated global shims -----------------------------------------------
+
+/// Snapshot of the **ambient** session's counters.
+#[deprecated(note = "use EngineCtx::stats on an explicit session")]
+pub fn snapshot() -> Snapshot {
+    crate::engine::EngineCtx::with_current(|e| e.stats())
+}
+
+/// Resets the **ambient** session's counters.
+#[deprecated(note = "use EngineCtx::reset_stats on an explicit session")]
+pub fn reset() {
+    crate::engine::EngineCtx::with_current(|e| e.reset_stats())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::EngineCtx;
 
     #[test]
     fn snapshot_and_reset() {
-        reset();
-        bump(&FM_ELIMINATIONS);
-        bump(&FM_ELIMINATIONS);
-        assert!(snapshot().FM_ELIMINATIONS >= 2);
-        let pairs = snapshot().as_pairs();
+        let e = EngineCtx::new();
+        e.counters().bump_fm_elimination();
+        e.counters().bump_fm_elimination();
+        assert_eq!(e.stats().FM_ELIMINATIONS, 2);
+        let pairs = e.stats().as_pairs();
         assert_eq!(pairs.len(), 7);
         assert!(pairs.iter().any(|(k, _)| *k == "FM_ELIMINATIONS"));
+        e.reset_stats();
+        assert_eq!(e.stats(), Snapshot::default());
+    }
+
+    #[test]
+    fn delta_since_subtracts_saturating() {
+        let a = Snapshot {
+            FM_ELIMINATIONS: 5,
+            COUNT_CALLS: 2,
+            ..Snapshot::default()
+        };
+        let b = Snapshot {
+            FM_ELIMINATIONS: 8,
+            ..Snapshot::default()
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.FM_ELIMINATIONS, 3);
+        assert_eq!(d.COUNT_CALLS, 0, "saturates instead of wrapping");
+    }
+
+    #[test]
+    fn hit_rates_divide_safely() {
+        let s = Snapshot::default();
+        assert_eq!(s.feasibility_hit_rate(), 0.0);
+        let s = Snapshot {
+            FEASIBILITY_CHECKS: 4,
+            FEASIBILITY_CACHE_HITS: 1,
+            ..Snapshot::default()
+        };
+        assert_eq!(s.feasibility_hit_rate(), 0.25);
+        assert_eq!(s.hit_rates().len(), 3);
+    }
+
+    #[test]
+    fn sessions_count_independently() {
+        let a = EngineCtx::new();
+        let b = EngineCtx::new();
+        a.counters().bump_count_call();
+        assert_eq!(a.stats().COUNT_CALLS, 1);
+        assert_eq!(b.stats().COUNT_CALLS, 0);
     }
 }

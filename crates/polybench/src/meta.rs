@@ -66,6 +66,25 @@ pub struct Kernel {
     pub parametrization_depth: usize,
 }
 
+/// A built-in kernel is an [`iolb_core::Workload`]. `prepare` **rebuilds**
+/// the kernel by name inside the analysis session, so a `Kernel` value
+/// obtained in any session (or none) can be handed to the `Analyzer`
+/// safely — the pre-built [`Kernel::dfg`] field is ignored by this path.
+impl iolb_core::Workload for Kernel {
+    fn prepare(&self) -> Result<iolb_core::PreparedWorkload, iolb_core::WorkloadError> {
+        let fresh = crate::kernels::kernel_by_name(self.name).ok_or_else(|| {
+            iolb_core::WorkloadError::new(format!("unknown built-in kernel `{}`", self.name))
+        })?;
+        Ok(iolb_core::PreparedWorkload {
+            name: fresh.name.to_string(),
+            params: fresh.params.iter().map(|p| p.to_string()).collect(),
+            options: Some(fresh.analysis_options()),
+            ops: Some(fresh.ops.clone()),
+            dfg: fresh.dfg,
+        })
+    }
+}
+
 impl Kernel {
     /// Analysis options tuned for this kernel: the parameter context assumes
     /// moderately large sizes and the heuristic instance uses the LARGE
@@ -76,7 +95,8 @@ impl Kernel {
             ..AnalysisOptions::default()
         };
         let mut ctx = iolb_poly::Context::empty();
-        let mut instance = iolb_core::Instance::new().set("S", 32_768);
+        // Key the heuristic instance by the options' own cache parameter.
+        let mut instance = iolb_core::Instance::new().set(&options.cache_param, 32_768);
         for (p, v) in self.large {
             ctx = ctx.assume_ge(p, 8);
             instance = instance.set(p, *v);

@@ -24,9 +24,9 @@ fn main() {
             eprintln!("unknown kernel: {name}");
             continue;
         };
-        let analysis = analyze(&kernel.dfg, &kernel.analysis_options());
-        let report = Report::new(kernel.name, analysis, Some(kernel.ops.clone()));
-        println!("{report}");
+        // Each kernel gets its own engine session via the Analyzer.
+        let outcome = Analyzer::new().analyze(&kernel).expect("kernel prepares");
+        println!("{}", outcome.report);
         println!(
             "  paper reports OI_up = {}, manual schedule achieves {}",
             kernel.paper_oi_up_desc, kernel.oi_manual_desc

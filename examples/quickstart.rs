@@ -8,8 +8,11 @@ use iolb::prelude::*;
 
 fn main() {
     // Describe the computation as a data-flow graph in the ISL-like notation
-    // of the paper: C[i][j] += A[i][k] * B[k][j].
-    let dfg = Dfg::builder()
+    // of the paper: C[i][j] += A[i][k] * B[k][j]. The Analyzer runs the
+    // analysis in its own engine session; building the DFG inside
+    // `analyze_with` binds it to that session.
+    let build_dfg = || {
+        Dfg::builder()
         .input("A", "[Ni, Nk] -> { A[i, k] : 0 <= i < Ni and 0 <= k < Nk }")
         .input("B", "[Nk, Nj] -> { B[k, j] : 0 <= k < Nk and 0 <= j < Nj }")
         .statement_with_ops(
@@ -33,19 +36,32 @@ fn main() {
             "[Ni, Nj, Nk] -> { C[i, j, k] -> C[i2, j2, k + 1] : i2 = i and j2 = j and 0 <= i < Ni and 0 <= j < Nj and 0 <= k < Nk - 1 }",
         )
         .build()
-        .expect("well-formed DFG");
+        .expect("well-formed DFG")
+    };
 
-    // Run the IOLB analysis.
-    let mut options = AnalysisOptions::with_default_instance(&["Ni", "Nj", "Nk"], 1024, 32_768);
-    options.max_parametrization_depth = 0;
-    let analysis = analyze(&dfg, &options);
+    // Run the IOLB analysis (builder-style entry point; one session per run).
+    let outcome = Analyzer::new()
+        .max_parametrization_depth(0)
+        .param("Ni", 1024)
+        .param("Nj", 1024)
+        .param("Nk", 1024)
+        .cache_size(32_768)
+        .analyze_with(build_dfg)
+        .expect("analysis runs");
+    let analysis = outcome.analysis();
 
     println!("Parametric lower bound on loads:");
     println!("  Q_low = {}", analysis.q_low);
     println!("  Q∞    = {}", analysis.q_asymptotic());
+    println!(
+        "  engine: {} feasibility checks, {} eliminations, {:.0}% cache hits",
+        outcome.stats.FEASIBILITY_CHECKS,
+        outcome.stats.FM_ELIMINATIONS,
+        outcome.stats.feasibility_hit_rate() * 100.0
+    );
 
     // Derive the OI upper bound and compare it with the machine balance.
-    let oi = OiSummary::from_analysis(&analysis, None).expect("operation count available");
+    let oi = OiSummary::from_analysis(analysis, None).expect("operation count available");
     if let Some(up) = &oi.oi_up {
         println!("  OI_up = {}", up);
     }

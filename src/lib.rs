@@ -29,14 +29,24 @@
 //!
 //! ## Quick start
 //!
+//! The [`Analyzer`] is the front door: a builder that runs each analysis in
+//! its own isolated **engine session** and accepts any [`Workload`] — a
+//! built-in PolyBench kernel, a polyhedral [`ir::Program`], or affine-C
+//! source (`frontend::IolbSource` / `frontend::IolbFile`):
+//!
 //! ```
 //! use iolb::prelude::*;
 //!
 //! let gemm = iolb::polybench::kernel_by_name("gemm").unwrap();
-//! let analysis = analyze(&gemm.dfg, &gemm.analysis_options());
-//! assert_eq!(analysis.q_asymptotic().to_string(), "2*Ni*Nj*Nk*S^(-1/2)");
-//! let oi = OiSummary::from_analysis(&analysis, Some(gemm.ops.clone())).unwrap();
-//! assert_eq!(oi.oi_up.unwrap().to_string(), "S^(1/2)");
+//! let outcome = Analyzer::new().analyze(&gemm).unwrap();
+//! assert_eq!(
+//!     outcome.analysis().q_asymptotic().to_string(),
+//!     "2*Ni*Nj*Nk*S^(-1/2)"
+//! );
+//! // Per-session engine statistics: this analysis alone.
+//! assert!(outcome.stats.FEASIBILITY_CHECKS > 0);
+//! let oi = outcome.report.oi.as_ref().unwrap();
+//! assert_eq!(oi.oi_up.as_ref().unwrap().to_string(), "S^(1/2)");
 //! ```
 //!
 //! Arbitrary affine programs enter through the affine-C front end (or the
@@ -44,49 +54,62 @@
 //!
 //! ```
 //! use iolb::prelude::*;
+//! use iolb::frontend::IolbSource;
 //!
-//! let program = iolb::frontend::compile(
-//!     "parameter N; double A[N]; double s;\n\
-//!      for (i = 0; i < N; i++) s += A[i];",
-//! )
-//! .unwrap();
-//! let dfg = program.to_dfg().unwrap();
-//! let analysis = analyze(&dfg, &AnalysisOptions::with_default_instance(&["N"], 1000, 128));
+//! let outcome = Analyzer::new()
+//!     .param("N", 1000)
+//!     .cache_size(128)
+//!     .analyze(&IolbSource::new(
+//!         "parameter N; double A[N]; double s;\n\
+//!          for (i = 0; i < N; i++) s += A[i];",
+//!     ))
+//!     .unwrap();
 //! // A dot-product-style reduction is bandwidth-bound: Q ≥ input size.
-//! assert_eq!(analysis.q_asymptotic().to_string(), "N");
+//! assert_eq!(outcome.analysis().q_asymptotic().to_string(), "N");
 //! ```
 //!
-//! ## Engine architecture: interning, caching, parallel driver
+//! ## Engine architecture: sessions, interning, caching, parallel driver
 //!
 //! The polyhedral engine under [`poly`] is built for the paper's headline
-//! claim — whole-suite analysis in seconds — via three coordinated layers:
+//! claim — whole-suite analysis in seconds — and for serving many
+//! concurrent analyses, via four coordinated layers:
 //!
+//! * **Sessions** ([`poly::engine`]): all engine state — the parameter
+//!   interner, the query cache, the op counters — lives in an explicit
+//!   [`EngineCtx`] with configurable capacities. Two sessions share
+//!   nothing: caches are freed when the session drops and statistics never
+//!   bleed between concurrent users. The [`Analyzer`] creates (or reuses) a
+//!   session per request; free-standing code runs against a scoped ambient
+//!   session ([`EngineCtx::scope`]).
 //! * **Interning** ([`poly::interner`]): every parameter name is interned
-//!   once into a global table, and an affine expression's parameter part is a
-//!   compact sorted `Vec<(ParamId, i128)>`. The hot loops of Fourier–Motzkin
-//!   elimination ([`poly::fm`]) are two-pointer merges over `u32` keys —
-//!   no per-coefficient heap allocation or string comparison. Projection
-//!   rounds deduplicate constraints structurally via 128-bit fingerprints
-//!   ([`poly::fxhash`]) so duplicates never feed the quadratic FM blowup.
+//!   once into the session's table, and an affine expression's parameter
+//!   part is a compact sorted `Vec<(ParamId, i128)>`. The hot loops of
+//!   Fourier–Motzkin elimination ([`poly::fm`]) are two-pointer merges over
+//!   compact keys — no per-coefficient heap allocation or string
+//!   comparison. Projection rounds deduplicate constraints structurally via
+//!   128-bit fingerprints ([`poly::fxhash`]) so duplicates never feed the
+//!   quadratic FM blowup.
 //! * **Memoization** ([`poly::cache`]): feasibility, entailment and symbolic
-//!   cardinality queries are memoized process-wide, keyed by fingerprints of
+//!   cardinality queries are memoized per session, keyed by fingerprints of
 //!   the *exact* query inputs — a cached answer is bit-identical to
-//!   recomputation, so the cache can never change a result. Toggle with
-//!   [`poly::cache::set_enabled`]; [`poly::stats`] counts operations and hit
-//!   rates.
+//!   recomputation, so the cache can never change a result. Capacity and
+//!   enablement are per-session ([`EngineConfig`]); [`poly::stats`] counts
+//!   operations and hit rates.
 //! * **Parallel driver** ([`core::driver`]): candidate-bound derivation is
 //!   independent per (parametrization depth, statement) pair, so
 //!   `AnalysisOptions { parallel: true, .. }` (the default) fans those jobs
-//!   out over OS threads ([`core::par`]) and reassembles results in the
+//!   out over OS threads ([`core::par`], which propagates the ambient
+//!   session into every worker) and reassembles results in the
 //!   deterministic serial order before the Lemma-4.2 combination — parallel
 //!   and serial runs produce byte-identical `Q_low`.
 //!
 //! The perf trajectory is tracked by
 //! `cargo run --release -p iolb-bench --bin perf_report`, which analyses all
-//! 30 PolyBench kernels and writes `BENCH_analysis.json` (per-kernel
-//! wall-clock plus the engine-operation counters). Micro-benchmarks live in
-//! `crates/bench/benches/analysis_time.rs` (`--features full-suite` times
-//! every kernel).
+//! 30 PolyBench kernels — each in its own session — and writes
+//! `BENCH_analysis.json` (per-kernel wall-clock, per-session cache hit
+//! rates, plus the summed engine-operation counters). Micro-benchmarks live
+//! in `crates/bench/benches/analysis_time.rs` (`--features full-suite`
+//! times every kernel).
 
 #![warn(missing_docs)]
 
@@ -101,10 +124,16 @@ pub use iolb_poly as poly;
 pub use iolb_polybench as polybench;
 pub use iolb_symbol as symbol;
 
+pub use iolb_core::{AnalysisOutcome, Analyzer, Workload};
+pub use iolb_poly::{EngineConfig, EngineCtx};
+
 /// Commonly used items, re-exported for examples and downstream users.
 pub mod prelude {
-    pub use iolb_core::{analyze, Analysis, AnalysisOptions, Instance, OiSummary, Regime, Report};
+    pub use iolb_core::{
+        analyze, Analysis, AnalysisOptions, AnalysisOutcome, Analyzer, Instance, OiSummary, Regime,
+        Report, Workload,
+    };
     pub use iolb_dfg::{genpaths, Dfg, GenPathsOptions};
-    pub use iolb_poly::{parse_map, parse_set};
+    pub use iolb_poly::{parse_map, parse_set, EngineConfig, EngineCtx};
     pub use iolb_symbol::{Expr, Poly};
 }

@@ -1,55 +1,137 @@
-//! The acceptance gate for the interned/cached/parallel engine: on every
-//! PolyBench kernel, `analyze` with the parallel driver and the query cache
-//! enabled must produce a `q_low` **byte-identical** to the serial, uncached
-//! path. The cache is deliberately not cleared between kernels, so later
-//! kernels also exercise cross-kernel cache reuse.
+//! The acceptance gate for the session-scoped engine: on every PolyBench
+//! kernel, the parallel, cached driver must produce a `q_low`
+//! **byte-identical** to the serial, uncached path, and two engine sessions
+//! running concurrently must share no cache or statistics while still
+//! producing byte-identical results.
 
 use iolb::prelude::*;
 
+/// Serial + parallel equivalence, per kernel, across isolated sessions: a
+/// serial uncached session and a parallel cached session must agree byte
+/// for byte (the PR-1 guarantee, now with per-kernel isolation).
 #[test]
 fn cached_parallel_q_low_matches_serial_uncached_on_every_kernel() {
-    iolb::poly::cache::clear();
     for kernel in iolb::polybench::all_kernels() {
-        let mut serial_opts = kernel.analysis_options();
-        serial_opts.parallel = false;
-        iolb::poly::cache::set_enabled(false);
-        let serial = analyze(&kernel.dfg, &serial_opts);
-
-        let mut parallel_opts = kernel.analysis_options();
-        parallel_opts.parallel = true;
-        iolb::poly::cache::set_enabled(true);
-        let fast = analyze(&kernel.dfg, &parallel_opts);
+        let serial = Analyzer::new()
+            .parallel(false)
+            .cache_enabled(false)
+            .analyze(&kernel)
+            .unwrap();
+        let fast = Analyzer::new().parallel(true).analyze(&kernel).unwrap();
 
         assert_eq!(
-            serial.q_low.to_string(),
-            fast.q_low.to_string(),
+            serial.analysis().q_low.to_string(),
+            fast.analysis().q_low.to_string(),
             "{}: parallel+cached q_low diverged from serial+uncached",
             kernel.name
         );
         assert_eq!(
-            serial.input_size.to_string(),
-            fast.input_size.to_string(),
+            serial.analysis().input_size.to_string(),
+            fast.analysis().input_size.to_string(),
             "{}: input-size term diverged",
             kernel.name
         );
         assert_eq!(
-            serial.accepted.len(),
-            fast.accepted.len(),
+            serial.analysis().accepted.len(),
+            fast.analysis().accepted.len(),
             "{}: accepted candidate set diverged",
             kernel.name
         );
+        // The uncached session must report zero hits; its counters come from
+        // this kernel alone.
+        assert_eq!(serial.stats.FEASIBILITY_CACHE_HITS, 0, "{}", kernel.name);
+        assert_eq!(serial.stats.COUNT_CACHE_HITS, 0, "{}", kernel.name);
     }
-    // Leave the cache in its default state for other tests in this process.
-    iolb::poly::cache::set_enabled(true);
+}
+
+/// The session-isolation proof: all 30 kernels are analysed **concurrently
+/// in two threads**, each kernel in its own session, and every result —
+/// `q_low` *and* the per-session operation counters — must be byte-for-byte
+/// identical to a serial single-session reference run. If sessions shared
+/// any cache entry or counter, the concurrent counters would diverge (extra
+/// hits, bled counts); if state leaked into the global session, its
+/// counters would move.
+#[test]
+fn concurrent_sessions_share_no_cache_or_stats_and_agree_with_serial_runs() {
+    let kernels = iolb::polybench::all_kernels();
+
+    // Serial references: one fresh session per kernel, serial driver (the
+    // serial driver keeps the operation counts deterministic).
+    let reference: Vec<(String, iolb::poly::stats::Snapshot)> = kernels
+        .iter()
+        .map(|kernel| {
+            let outcome = Analyzer::new().parallel(false).analyze(kernel).unwrap();
+            (outcome.analysis().q_low.to_string(), outcome.stats)
+        })
+        .collect();
+
+    let global_before = EngineCtx::global().stats();
+
+    // Concurrent run: two threads split the suite and race.
+    let mid = kernels.len() / 2;
+    let halves = [&kernels[..mid], &kernels[mid..]];
+    let results: Vec<Vec<(String, iolb::poly::stats::Snapshot)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = halves
+            .iter()
+            .map(|half| {
+                scope.spawn(move || {
+                    half.iter()
+                        .map(|kernel| {
+                            let outcome = Analyzer::new().parallel(false).analyze(kernel).unwrap();
+                            (outcome.analysis().q_low.to_string(), outcome.stats)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let concurrent: Vec<(String, iolb::poly::stats::Snapshot)> =
+        results.into_iter().flatten().collect();
+    assert_eq!(concurrent.len(), reference.len());
+    for (i, kernel) in kernels.iter().enumerate() {
+        assert_eq!(
+            concurrent[i].0, reference[i].0,
+            "{}: concurrent-session q_low diverged from the serial reference",
+            kernel.name
+        );
+        assert_eq!(
+            concurrent[i].1, reference[i].1,
+            "{}: concurrent-session engine counters diverged — sessions are \
+             not isolated",
+            kernel.name
+        );
+    }
+
+    // Nothing leaked into the global fallback session.
+    assert_eq!(
+        EngineCtx::global().stats(),
+        global_before,
+        "concurrent sessions must not touch the global session"
+    );
 }
 
 #[test]
-fn repeated_analysis_is_deterministic() {
-    // Two runs of the same analysis (second one fully cache-warm) must agree.
+fn repeated_analysis_in_one_session_is_deterministic_and_warm() {
+    // Two runs of the same analysis in one session (second one fully
+    // cache-warm) must agree, and the second must actually hit the cache.
     let kernel = iolb::polybench::kernel_by_name("cholesky").unwrap();
-    let opts = kernel.analysis_options();
-    let a = analyze(&kernel.dfg, &opts);
-    let b = analyze(&kernel.dfg, &opts);
-    assert_eq!(a.q_low.to_string(), b.q_low.to_string());
-    assert_eq!(a.q_asymptotic().to_string(), b.q_asymptotic().to_string());
+    let first = Analyzer::new().analyze(&kernel).unwrap();
+    let second = Analyzer::new()
+        .engine(first.engine().clone())
+        .analyze(&kernel)
+        .unwrap();
+    assert_eq!(
+        first.analysis().q_low.to_string(),
+        second.analysis().q_low.to_string()
+    );
+    assert_eq!(
+        first.analysis().q_asymptotic().to_string(),
+        second.analysis().q_asymptotic().to_string()
+    );
+    assert!(
+        second.stats.FEASIBILITY_CACHE_HITS > first.stats.FEASIBILITY_CACHE_HITS,
+        "second run in the same session should be answered from the warm cache"
+    );
 }

@@ -14,6 +14,28 @@ fn compile_example(name: &str) -> iolb_dfg::Dfg {
         .unwrap_or_else(|e| panic!("dataflow for {name}: {e}"))
 }
 
+/// The session-scoped path: the same `.iolb` file analysed through the
+/// `Analyzer` (fresh engine session, file compiled inside it) must match
+/// the built-in kernel analysed through the `Analyzer` — the library-level
+/// form of the CLI equality check.
+#[test]
+fn gemm_iolb_matches_builtin_kernel_through_analyzer() {
+    let path = format!("{}/examples/programs/gemm.iolb", env!("CARGO_MANIFEST_DIR"));
+    let from_file = iolb_core::Analyzer::new()
+        .analyze(&iolb_frontend::IolbFile::new(&path))
+        .unwrap();
+    let kernel = iolb_polybench::kernel_by_name("gemm").expect("builtin gemm");
+    let builtin = iolb_core::Analyzer::new().analyze(&kernel).unwrap();
+    assert_eq!(
+        from_file.analysis().q_low.to_string(),
+        builtin.analysis().q_low.to_string()
+    );
+    assert_eq!(from_file.report.kernel, "gemm");
+    // The two runs used isolated sessions: each reports only its own work.
+    assert!(from_file.stats.FEASIBILITY_CHECKS > 0);
+    assert!(builtin.stats.FEASIBILITY_CHECKS > 0);
+}
+
 /// The gemm acceptance criterion: the `.iolb` file and the built-in kernel
 /// produce the *same* parametric lower bound, not merely asymptotically
 /// equal ones.
