@@ -8,6 +8,7 @@
 
 pub mod harness;
 pub mod perf;
+pub mod serve;
 
 use iolb_core::{AnalysisOutcome, Analyzer, OiSummary, Report};
 use iolb_polybench::Kernel;

@@ -39,12 +39,19 @@ pub struct PerfRun {
     pub total_seconds: f64,
     /// Engine-operation counters summed over every per-kernel session.
     pub counters: Vec<(&'static str, u64)>,
+    /// The serving-layer load run (full-suite runs only): 4 concurrent
+    /// clients × the whole suite against an in-process daemon.
+    pub serve: Option<crate::serve::ServeThroughput>,
     /// The JSON document (the `BENCH_analysis.json` payload).
     pub json: String,
     /// True when every kernel ran (a filtered run is a partial
     /// measurement and must not clobber the canonical record).
     pub full_suite: bool,
 }
+
+/// Client threads for the `serve_throughput` section (the acceptance bar:
+/// the daemon must sustain at least four concurrent clients).
+pub const SERVE_CLIENTS: usize = 4;
 
 /// Analyses the suite (optionally filtered by kernel name), printing one
 /// line per kernel, and assembles the JSON record.
@@ -72,6 +79,20 @@ pub fn run(filter: &[String]) -> PerfRun {
     }
     let total_seconds = suite_start.elapsed().as_secs_f64();
 
+    // The serving layer under load (full-suite runs only; a filtered run
+    // is a quick look at specific kernels, not a service measurement).
+    let serve = if full_suite {
+        println!("serve_throughput: {SERVE_CLIENTS} clients x full suite ...");
+        let load = crate::serve::run(SERVE_CLIENTS);
+        println!(
+            "serve_throughput: {:.2} req/s, p50 {:.0} ms, p99 {:.0} ms ({} ok / {} requests)",
+            load.req_per_sec, load.p50_ms, load.p99_ms, load.ok, load.requests
+        );
+        Some(load)
+    } else {
+        None
+    };
+
     // Suite totals: sum of the per-session counters.
     let mut totals: Vec<(&'static str, u64)> = Vec::new();
     for row in &rows {
@@ -96,12 +117,22 @@ pub fn run(filter: &[String]) -> PerfRun {
         let _ = writeln!(json, "    \"{}\": {{", row.name);
         let _ = writeln!(json, "      \"seconds\": {:.6},", row.seconds);
         for (key, rate) in row.stats.hit_rates() {
-            let _ = writeln!(json, "      \"{key}\": {rate:.6},");
+            match rate {
+                Some(rate) => {
+                    let _ = writeln!(json, "      \"{key}\": {rate:.6},");
+                }
+                None => {
+                    let _ = writeln!(json, "      \"{key}\": null,");
+                }
+            }
         }
         let _ = writeln!(json, "      \"cache_entries\": {}", row.cache_entries);
         let _ = writeln!(json, "    }}{comma}");
     }
     json.push_str("  },\n");
+    if let Some(load) = &serve {
+        let _ = writeln!(json, "  \"serve_throughput\": {},", load.to_json_object());
+    }
     json.push_str("  \"engine_counters\": {\n");
     for (i, (key, value)) in totals.iter().enumerate() {
         let comma = if i + 1 < totals.len() { "," } else { "" };
@@ -114,6 +145,7 @@ pub fn run(filter: &[String]) -> PerfRun {
         rows,
         total_seconds,
         counters: totals,
+        serve,
         json,
         full_suite,
     }

@@ -1,0 +1,176 @@
+//! `serve_throughput`: the daemon under load.
+//!
+//! Spins up an in-process [`iolb_server::Server`] (the same code path
+//! `iolb serve` runs, minus the socket), hammers it with the full 30-kernel
+//! suite from several concurrent client threads, and reports service-level
+//! numbers — requests/second and p50/p99 client-observed latency — into
+//! `BENCH_analysis.json` alongside the per-kernel suite numbers. This keeps
+//! a perf record not just for the *analysis* but for the *serving* layer
+//! (queueing, session-pool reuse, response rendering), so regressions in
+//! either show up in the same file.
+
+use iolb_server::{Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The result of one load run.
+pub struct ServeThroughput {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total requests submitted (clients × suite size).
+    pub requests: usize,
+    /// Requests answered with `"status":"ok"`.
+    pub ok: usize,
+    /// Requests answered with an error (overload, timeout, …).
+    pub errors: usize,
+    /// Responses served by a warm pooled session.
+    pub warm: usize,
+    /// Whole-run wall-clock in seconds.
+    pub seconds: f64,
+    /// Completed requests per second of wall-clock.
+    pub req_per_sec: f64,
+    /// Median client-observed latency (enqueue to response) in ms.
+    pub p50_ms: f64,
+    /// 99th-percentile client-observed latency in ms.
+    pub p99_ms: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Runs `clients` concurrent client threads, each submitting the full
+/// kernel suite (each from a different starting offset, so the in-flight
+/// mix stays varied), against a fresh in-process daemon.
+pub fn run(clients: usize) -> ServeThroughput {
+    let kernels: Vec<String> = iolb_polybench::all_kernels()
+        .iter()
+        .map(|k| k.name.to_string())
+        .collect();
+    let server = Arc::new(Server::start(ServerConfig {
+        workers: clients.max(1),
+        queue_capacity: clients.max(1) * kernels.len(),
+        pool_capacity: 8,
+        default_timeout_ms: 600_000,
+    }));
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients.max(1))
+        .map(|c| {
+            let server = server.clone();
+            let kernels = kernels.clone();
+            std::thread::spawn(move || {
+                let mut latencies_ms: Vec<f64> = Vec::with_capacity(kernels.len());
+                let mut ok = 0usize;
+                let mut warm = 0usize;
+                for i in 0..kernels.len() {
+                    let kernel = &kernels[(i + c * 7) % kernels.len()];
+                    let sent = Instant::now();
+                    let response = server.handle_line(&format!(
+                        r#"{{"id": "load-{c}-{i}", "kernel": "{kernel}"}}"#
+                    ));
+                    latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                    if response.contains("\"status\":\"ok\"") {
+                        ok += 1;
+                    }
+                    if response.contains("\"session_warm\":true") {
+                        warm += 1;
+                    }
+                }
+                (latencies_ms, ok, warm)
+            })
+        })
+        .collect();
+
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut ok = 0usize;
+    let mut warm = 0usize;
+    for handle in handles {
+        let (lat, client_ok, client_warm) = handle.join().expect("load client");
+        latencies_ms.extend(lat);
+        ok += client_ok;
+        warm += client_warm;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let requests = latencies_ms.len();
+    ServeThroughput {
+        clients: clients.max(1),
+        requests,
+        ok,
+        errors: requests - ok,
+        warm,
+        seconds,
+        req_per_sec: if seconds > 0.0 {
+            ok as f64 / seconds
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+    }
+}
+
+impl ServeThroughput {
+    /// The `serve_throughput` JSON object for `BENCH_analysis.json`
+    /// (indented to sit at the document's top level).
+    pub fn to_json_object(&self) -> String {
+        format!(
+            "{{\n    \"clients\": {},\n    \"requests\": {},\n    \"ok\": {},\n    \
+             \"errors\": {},\n    \"warm_responses\": {},\n    \
+             \"wall_clock_seconds\": {:.6},\n    \"requests_per_second\": {:.3},\n    \
+             \"p50_latency_ms\": {:.3},\n    \"p99_latency_ms\": {:.3}\n  }}",
+            self.clients,
+            self.requests,
+            self.ok,
+            self.errors,
+            self.warm,
+            self.seconds,
+            self.req_per_sec,
+            self.p50_ms,
+            self.p99_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.50), 2.0);
+        assert_eq!(percentile(&sorted, 0.99), 4.0);
+        assert_eq!(percentile(&sorted, 0.25), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn json_object_is_well_formed() {
+        let row = ServeThroughput {
+            clients: 4,
+            requests: 120,
+            ok: 120,
+            errors: 0,
+            warm: 100,
+            seconds: 10.0,
+            req_per_sec: 12.0,
+            p50_ms: 80.0,
+            p99_ms: 400.0,
+        };
+        let json = row.to_json_object();
+        assert!(json.contains("\"requests_per_second\": 12.000"));
+        assert!(json.contains("\"p99_latency_ms\": 400.000"));
+        let open = json.matches('{').count();
+        assert_eq!(open, json.matches('}').count());
+    }
+}

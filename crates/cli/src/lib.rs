@@ -10,6 +10,8 @@
 //! * `iolb kernels` — list the built-in PolyBench kernels.
 //! * `iolb bench [kernel…]` — run the perf-trajectory suite
 //!   (`BENCH_analysis.json`), equivalent to the `perf_report` binary.
+//! * `iolb serve` — run the long-lived analysis daemon (line-delimited
+//!   JSON over TCP or stdio; protocol reference in `docs/SERVING.md`).
 //!
 //! The command implementations live here (returning their output as
 //! strings) so they are unit-testable; `src/main.rs` only dispatches.
@@ -46,6 +48,7 @@ USAGE:
                                          analyze a built-in PolyBench kernel
     iolb kernels [--json]                list the built-in kernels
     iolb bench [kernel...]               run the perf suite (BENCH_analysis.json)
+    iolb serve [OPTIONS]                 run the analysis daemon (docs/SERVING.md)
     iolb help                            show this text
 
 ANALYZE OPTIONS:
@@ -63,8 +66,24 @@ ANALYZE OPTIONS:
                          built-in kernels use their tuned depth)
     --serial             disable the parallel driver
 
+SERVE OPTIONS:
+    --addr HOST:PORT     listen for line-delimited JSON over TCP (port 0
+                         picks a free port; the bound address is printed
+                         as `listening on HOST:PORT`)
+    --stdio              serve stdin/stdout instead of a socket (exits on
+                         EOF or a shutdown request)
+    --workers N          analysis worker threads (default: all cores)
+    --queue N            queued-request bound before `overloaded` replies
+                         (default: 64)
+    --pool N             warm engine sessions kept between requests
+                         (default: 8; 0 serves every request cold)
+    --timeout-ms MS      default per-request timeout (default: 120000;
+                         requests may override with \"timeout_ms\")
+
 Every `analyze` run executes in its own engine session: caches and
-statistics are isolated from concurrent runs and freed on exit.
+statistics are isolated from concurrent runs and freed on exit. The
+daemon draws sessions from a bounded warm pool instead; results are
+byte-identical either way. Wire protocol: docs/SERVING.md.
 ";
 
 /// Parsed `analyze` options.
@@ -98,6 +117,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("kernels") => cmd_kernels(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
         Some(other) => Err(err(format!("unknown subcommand `{other}`\n\n{USAGE}"))),
     }
@@ -281,6 +301,92 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     Ok(String::new())
 }
 
+/// Parsed `serve` options (separate from the server's own config so the
+/// CLI layer stays unit-testable without starting threads).
+#[derive(Debug)]
+struct ServeArgs {
+    addr: Option<String>,
+    stdio: bool,
+    config: iolb_server::ServerConfig,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
+    let mut addr: Option<String> = None;
+    let mut stdio = false;
+    let mut config = iolb_server::ServerConfig::default();
+    fn numeric(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<usize, CliError> {
+        let v = it
+            .next()
+            .ok_or_else(|| err(format!("{name} requires a value")))?;
+        v.parse()
+            .map_err(|_| err(format!("malformed {name} `{v}`")))
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stdio" => stdio = true,
+            "--addr" => {
+                let v = it.next().ok_or_else(|| err("--addr requires HOST:PORT"))?;
+                addr = Some(v.clone());
+            }
+            "--workers" => config.workers = numeric(&mut it, "--workers")?.max(1),
+            "--queue" => config.queue_capacity = numeric(&mut it, "--queue")?,
+            "--pool" => config.pool_capacity = numeric(&mut it, "--pool")?,
+            "--timeout-ms" => {
+                let ms = numeric(&mut it, "--timeout-ms")?;
+                if ms == 0 {
+                    return Err(err("--timeout-ms must be positive"));
+                }
+                config.default_timeout_ms = ms as u64;
+            }
+            other => return Err(err(format!("unknown serve option `{other}`\n\n{USAGE}"))),
+        }
+    }
+    if stdio && addr.is_some() {
+        return Err(err("--stdio conflicts with --addr; pass one or the other"));
+    }
+    if !stdio && addr.is_none() {
+        return Err(err(format!(
+            "serve: pass --addr HOST:PORT or --stdio\n\n{USAGE}"
+        )));
+    }
+    Ok(ServeArgs {
+        addr,
+        stdio,
+        config,
+    })
+}
+
+/// Runs the analysis daemon until it drains (shutdown request, or EOF in
+/// `--stdio` mode). Unlike the other commands this one serves its output
+/// incrementally — protocol responses on the transport, status lines on
+/// stderr (plus the `listening on HOST:PORT` line on stdout in TCP mode,
+/// which scripts read to discover the bound port).
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let args = parse_serve_args(args)?;
+    let server = std::sync::Arc::new(iolb_server::Server::start(args.config));
+    if args.stdio {
+        server
+            .serve_stdio()
+            .map_err(|e| err(format!("serve: {e}")))?;
+    } else {
+        let addr = args.addr.expect("checked by parse_serve_args");
+        let listener = std::net::TcpListener::bind(&addr)
+            .map_err(|e| err(format!("serve: cannot bind {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| err(format!("serve: {e}")))?;
+        println!("listening on {local}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        server
+            .serve_listener(listener)
+            .map_err(|e| err(format!("serve: {e}")))?;
+    }
+    eprintln!("iolb serve: drained, exiting");
+    Ok(String::new())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +501,50 @@ mod tests {
         ])
         .unwrap_err();
         assert!(e.0.contains("unexpected argument"), "{}", e.0);
+    }
+
+    #[test]
+    fn serve_args_parse_and_validate() {
+        let strs = |args: &[&str]| -> Vec<String> { args.iter().map(|s| s.to_string()).collect() };
+        let parsed = parse_serve_args(&strs(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue",
+            "5",
+            "--pool",
+            "3",
+            "--timeout-ms",
+            "1000",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.addr.as_deref(), Some("127.0.0.1:0"));
+        assert!(!parsed.stdio);
+        assert_eq!(parsed.config.workers, 2);
+        assert_eq!(parsed.config.queue_capacity, 5);
+        assert_eq!(parsed.config.pool_capacity, 3);
+        assert_eq!(parsed.config.default_timeout_ms, 1000);
+
+        let stdio = parse_serve_args(&strs(&["--stdio"])).unwrap();
+        assert!(stdio.stdio);
+
+        for (bad, want) in [
+            (vec!["--stdio", "--addr", "x:1"], "conflicts"),
+            (vec![], "pass --addr HOST:PORT or --stdio"),
+            (vec!["--addr", "x:1", "--workers", "lots"], "malformed"),
+            (
+                vec!["--addr", "x:1", "--timeout-ms", "0"],
+                "must be positive",
+            ),
+            (vec!["--frobnicate"], "unknown serve option"),
+        ] {
+            let e = parse_serve_args(&strs(&bad)).unwrap_err();
+            assert!(e.0.contains(want), "{bad:?}: {}", e.0);
+        }
+        // `--workers 0` is clamped to one worker rather than deadlocking.
+        let clamped = parse_serve_args(&strs(&["--stdio", "--workers", "0"])).unwrap();
+        assert_eq!(clamped.config.workers, 1);
     }
 
     #[test]

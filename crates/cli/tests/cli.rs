@@ -78,3 +78,58 @@ fn bad_input_exits_nonzero_with_position() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+/// `iolb serve --stdio`: pipe a kernel request, a file-path request and a
+/// shutdown through the daemon and check the line-delimited replies — the
+/// same exchange the CI smoke test performs over TCP.
+#[test]
+fn serve_stdio_round_trip_and_clean_exit() {
+    use std::io::Write;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_iolb"))
+        .args(["serve", "--stdio", "--workers", "2"])
+        .current_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn iolb serve --stdio");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(
+            concat!(
+                "{\"id\": \"k\", \"kernel\": \"gemm\"}\n",
+                "{\"id\": \"f\", \"path\": \"examples/programs/gemm.iolb\"}\n",
+                "{\"id\": \"bye\", \"op\": \"shutdown\"}\n",
+            )
+            .as_bytes(),
+        )
+        .expect("write requests");
+    let out = child.wait_with_output().expect("iolb serve exits");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "one response per request: {stdout}");
+    for response in &lines[..2] {
+        assert!(response.contains("\"status\":\"ok\""), "{response}");
+        assert!(response.contains("\"schema_version\":1"), "{response}");
+        assert!(response.contains("\"q_low\""), "{response}");
+    }
+    assert!(lines[2].contains("\"draining\":true"), "{}", lines[2]);
+    // Both workloads are gemm: the bound must be identical through either
+    // door (built-in kernel vs frontend-lowered file).
+    let q = |line: &str| {
+        let start = line.find("\"q_low\":").expect("q_low") + "\"q_low\":".len();
+        line[start..]
+            .split('"')
+            .nth(1)
+            .expect("string value")
+            .to_string()
+    };
+    assert_eq!(q(lines[0]), q(lines[1]));
+}

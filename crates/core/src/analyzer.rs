@@ -318,7 +318,12 @@ impl AnalysisOutcome {
             out.push_str(&format!("    \"{}\": {},\n", key.to_lowercase(), value));
         }
         for (key, value) in self.stats.hit_rates() {
-            out.push_str(&format!("    \"{key}\": {value:.6},\n"));
+            match value {
+                Some(rate) => out.push_str(&format!("    \"{key}\": {rate:.6},\n")),
+                // No query of this kind ran: `null`, never NaN (see
+                // `Snapshot::hit_rates`).
+                None => out.push_str(&format!("    \"{key}\": null,\n")),
+            }
         }
         out.push_str(&format!("    \"cache_entries\": {},\n", self.cache_entries));
         out.push_str(&format!(
@@ -392,6 +397,28 @@ mod tests {
             uncached.analysis().q_low.to_string(),
             "cache configuration must never change the result"
         );
+    }
+
+    #[test]
+    fn zero_query_hit_rates_serialise_as_null() {
+        // Regression: a request whose session saw zero queries of some kind
+        // (disabled cache, idle session) must emit `null` hit rates — a 0/0
+        // division would put `NaN`, which is not valid JSON, in the report.
+        let outcome = Analyzer::new()
+            .parallel(false)
+            .analyze_with(streaming_dfg)
+            .unwrap();
+        let idle = AnalysisOutcome {
+            report: outcome.report.clone(),
+            stats: Snapshot::default(),
+            cache_entries: 0,
+            elapsed: Duration::ZERO,
+            engine: outcome.engine.clone(),
+        };
+        let json = idle.to_json();
+        assert!(json.contains("\"feasibility_hit_rate\": null"), "{json}");
+        assert!(json.contains("\"count_hit_rate\": null"), "{json}");
+        assert!(!json.contains("NaN"), "{json}");
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub mod interference;
 pub mod oi;
 pub mod par;
 pub mod partition;
+pub mod pool;
 pub mod report;
 pub mod wavefront;
 pub mod workload;

@@ -1,0 +1,333 @@
+//! A bounded pool of warm engine sessions for serving workloads.
+//!
+//! Creating an [`EngineCtx`] is cheap, but a *warm* one — interner table
+//! populated, query cache holding memoized feasibility/entailment/counting
+//! results from earlier requests — makes follow-up analyses substantially
+//! faster (memoized answers are result-identical by construction, so reuse
+//! never changes a bound). A long-running service therefore wants to keep a
+//! few sessions around between requests instead of building every request a
+//! cold one. [`SessionPool`] is that keep-around policy:
+//!
+//! * **Keyed by configuration fingerprint.** Capacities are fixed at session
+//!   creation ([`EngineConfig`] cannot be re-applied to a live session), so
+//!   a pooled session may only serve a request that asked for the same
+//!   configuration. [`SessionPool::checkout`] matches on
+//!   [`EngineConfig::fingerprint`] and creates a fresh session on a miss.
+//! * **Bounded, LRU-evicted.** At most `capacity` idle sessions are
+//!   retained across all fingerprints together; returning a session to a
+//!   full pool evicts the least-recently-used idle one. Sessions in flight
+//!   (checked out) are not counted — the *service* bounds concurrency via
+//!   its worker pool.
+//! * **Recycling.** [`SessionPool::checkin`] runs
+//!   [`EngineCtx::recycle`](iolb_poly::EngineCtx::recycle), which resets the
+//!   per-request counters and retires sessions whose interner is nearly
+//!   full; retired sessions are dropped, not pooled.
+//!
+//! The pool is internally synchronised: `&SessionPool` is enough for every
+//! operation, so one pool can be shared by all worker threads of a server.
+//!
+//! ```
+//! use iolb_core::pool::SessionPool;
+//! use iolb_poly::EngineConfig;
+//!
+//! let pool = SessionPool::new(4);
+//! let config = EngineConfig::default();
+//! let first = pool.checkout(&config);
+//! assert!(!first.warm, "nothing pooled yet: a fresh session");
+//! pool.checkin(first.engine);
+//! let second = pool.checkout(&config);
+//! assert!(second.warm, "the recycled session comes back");
+//! ```
+
+use iolb_poly::{EngineConfig, EngineCtx};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One idle session retained by the pool.
+struct Slot {
+    engine: Arc<EngineCtx>,
+    fingerprint: u64,
+    /// Logical timestamp of the last checkin (monotonic pool clock); the
+    /// smallest value is the LRU eviction victim.
+    last_used: u64,
+}
+
+/// Counters describing what the pool has done so far (all monotonic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts served by a warm pooled session.
+    pub hits: u64,
+    /// Checkouts that had to create a fresh session.
+    pub misses: u64,
+    /// Idle sessions evicted to make room (LRU order).
+    pub evictions: u64,
+    /// Sessions dropped at checkin because
+    /// [`EngineCtx::recycle`](iolb_poly::EngineCtx::recycle) retired them.
+    pub retired: u64,
+}
+
+/// A checked-out session plus how it was obtained.
+pub struct Checkout {
+    /// The session, ready to be passed to
+    /// [`Analyzer::engine`](crate::Analyzer::engine).
+    pub engine: Arc<EngineCtx>,
+    /// `true` when the session came warm from the pool, `false` when it was
+    /// created for this checkout.
+    pub warm: bool,
+}
+
+/// A bounded, fingerprint-keyed, LRU-evicted pool of warm [`EngineCtx`]
+/// sessions. See the [module docs](self).
+pub struct SessionPool {
+    capacity: usize,
+    slots: Mutex<Vec<Slot>>,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    retired: AtomicU64,
+}
+
+impl SessionPool {
+    /// A pool retaining at most `capacity` idle sessions (0 disables
+    /// retention entirely: every checkout is a miss, every checkin a drop).
+    pub fn new(capacity: usize) -> Self {
+        SessionPool {
+            capacity,
+            slots: Mutex::new(Vec::new()),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            retired: AtomicU64::new(0),
+        }
+    }
+
+    /// The maximum number of idle sessions retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of idle sessions currently retained.
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// True when no idle session is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes a session configured like `config` out of the pool, creating a
+    /// fresh one on a miss. Among several matching idle sessions the
+    /// most-recently-used one is preferred (it is the warmest).
+    pub fn checkout(&self, config: &EngineConfig) -> Checkout {
+        let fingerprint = config.fingerprint();
+        let pooled = {
+            let mut slots = self.slots.lock().unwrap();
+            let best = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.fingerprint == fingerprint)
+                .max_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i);
+            best.map(|i| slots.swap_remove(i).engine)
+        };
+        match pooled {
+            Some(engine) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Checkout { engine, warm: true }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Checkout {
+                    engine: EngineCtx::with_config(config.clone()),
+                    warm: false,
+                }
+            }
+        }
+    }
+
+    /// Returns a session to the pool after a request. The session is
+    /// recycled ([`EngineCtx::recycle`](iolb_poly::EngineCtx::recycle));
+    /// retired sessions are dropped, and if the pool is full the
+    /// least-recently-used idle session is evicted to make room.
+    pub fn checkin(&self, engine: Arc<EngineCtx>) {
+        if self.capacity == 0 {
+            // Retention disabled: the drop is policy, not a retirement —
+            // `retired` stays a pure signal of interner-churn retirements.
+            return;
+        }
+        if !engine.recycle() {
+            self.retired.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let fingerprint = engine.config().fingerprint();
+        let now = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut slots = self.slots.lock().unwrap();
+        while slots.len() >= self.capacity {
+            let lru = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty: len >= capacity >= 1");
+            slots.swap_remove(lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        slots.push(Slot {
+            engine,
+            fingerprint,
+            last_used: now,
+        });
+    }
+
+    /// A snapshot of the pool's activity counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            retired: self.retired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_roundtrip() {
+        let pool = SessionPool::new(2);
+        let config = EngineConfig::default();
+        let a = pool.checkout(&config);
+        assert!(!a.warm);
+        let id = a.engine.id();
+        a.engine.intern("N");
+        pool.checkin(a.engine);
+        assert_eq!(pool.len(), 1);
+        let b = pool.checkout(&config);
+        assert!(b.warm);
+        assert_eq!(b.engine.id(), id, "the same session comes back");
+        assert!(b.engine.lookup("N").is_some(), "and it is still warm");
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                hits: 1,
+                misses: 1,
+                ..PoolStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn checkout_keys_on_config_fingerprint() {
+        let pool = SessionPool::new(4);
+        let big = EngineConfig::default();
+        let small = EngineConfig {
+            cache_capacity: 8,
+            ..EngineConfig::default()
+        };
+        let a = pool.checkout(&big);
+        pool.checkin(a.engine);
+        // A differently-configured request must not get the pooled session.
+        let b = pool.checkout(&small);
+        assert!(!b.warm);
+        assert_eq!(b.engine.cache_capacity(), 8);
+        // The original config still finds its session.
+        assert!(pool.checkout(&big).warm);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_the_pool() {
+        let pool = SessionPool::new(2);
+        let config = EngineConfig::default();
+        let (a, b, c) = (
+            pool.checkout(&config),
+            pool.checkout(&config),
+            pool.checkout(&config),
+        );
+        let (a_id, c_id) = (a.engine.id(), c.engine.id());
+        pool.checkin(a.engine); // oldest
+        pool.checkin(b.engine);
+        pool.checkin(c.engine); // evicts a
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.stats().evictions, 1);
+        let ids: Vec<u32> = (0..2).map(|_| pool.checkout(&config).engine.id()).collect();
+        assert!(!ids.contains(&a_id), "the LRU session was evicted");
+        assert!(ids.contains(&c_id));
+    }
+
+    #[test]
+    fn checkout_prefers_the_warmest_match() {
+        let pool = SessionPool::new(2);
+        let config = EngineConfig::default();
+        let (a, b) = (pool.checkout(&config), pool.checkout(&config));
+        let b_id = b.engine.id();
+        pool.checkin(a.engine);
+        pool.checkin(b.engine); // most recently used
+        assert_eq!(pool.checkout(&config).engine.id(), b_id);
+    }
+
+    #[test]
+    fn retired_sessions_are_dropped() {
+        let pool = SessionPool::new(2);
+        let config = EngineConfig {
+            interner_capacity: 4,
+            ..EngineConfig::default()
+        };
+        let c = pool.checkout(&config);
+        c.engine.intern("A");
+        c.engine.intern("B");
+        c.engine.intern("C"); // 3/4 full: recycle() retires it
+        pool.checkin(c.engine);
+        assert_eq!(pool.len(), 0);
+        assert_eq!(pool.stats().retired, 1);
+    }
+
+    #[test]
+    fn zero_capacity_pools_nothing() {
+        let pool = SessionPool::new(0);
+        let config = EngineConfig::default();
+        let c = pool.checkout(&config);
+        pool.checkin(c.engine);
+        assert_eq!(pool.len(), 0);
+        assert!(!pool.checkout(&config).warm);
+        assert_eq!(
+            pool.stats().retired,
+            0,
+            "drops from a disabled pool are policy, not retirements"
+        );
+    }
+
+    #[test]
+    fn checked_in_sessions_start_with_clean_counters() {
+        let pool = SessionPool::new(1);
+        let config = EngineConfig::default();
+        let c = pool.checkout(&config);
+        let outcome = crate::Analyzer::new()
+            .engine(c.engine.clone())
+            .parallel(false)
+            .analyze_with(|| {
+                iolb_dfg::Dfg::builder()
+                    .input("X", "[N] -> { X[i] : 0 <= i < N }")
+                    .statement("S", "[N] -> { S[i] : 0 <= i < N }")
+                    .edge("X", "S", "[N] -> { X[i] -> S[i2] : i2 = i and 0 <= i < N }")
+                    .build()
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(outcome.stats.FEASIBILITY_CHECKS > 0);
+        drop(outcome);
+        pool.checkin(c.engine);
+        let again = pool.checkout(&config);
+        assert!(again.warm);
+        assert_eq!(
+            again.engine.stats(),
+            iolb_poly::stats::Snapshot::default(),
+            "recycling resets the per-request counters"
+        );
+        assert!(again.engine.cache_len() > 0, "but keeps the warm cache");
+    }
+}

@@ -89,6 +89,22 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// A stable hash of every capacity knob. Two sessions with equal
+    /// fingerprints are interchangeable from a capacity point of view, which
+    /// is what a session pool keys its warm sessions by: a recycled session
+    /// may only serve a request that asked for the same configuration
+    /// (capacities are fixed at session creation and cannot be re-applied to
+    /// a live session).
+    pub fn fingerprint(&self) -> u64 {
+        crate::fxhash::fingerprint(&(
+            self.cache_capacity,
+            self.cache_enabled,
+            self.interner_capacity,
+        )) as u64
+    }
+}
+
 /// Session ids let [`ParamId`]s carry which session minted them, so
 /// cross-session misuse fails loudly instead of aliasing names. The counter
 /// is touched once per session creation, never on the analysis hot path.
@@ -291,6 +307,30 @@ impl EngineCtx {
         &self.stats
     }
 
+    // --- pool recycling --------------------------------------------------
+
+    /// Prepares the session for reuse by an unrelated follow-up request and
+    /// reports whether it is still fit to be reused.
+    ///
+    /// Recycling **keeps** the warm state that makes pooling worthwhile —
+    /// the interner table and the memoized query results (both are
+    /// request-agnostic: memoized answers are result-identical by
+    /// construction) — and resets the operation counters so the next
+    /// request's statistics start from zero.
+    ///
+    /// Returns `false` when the session must be retired instead of pooled:
+    /// its interner has consumed most of its capacity (interning panics at
+    /// capacity, so a nearly-full table is a panic waiting for the next
+    /// workload with fresh parameter names). Callers such as
+    /// `iolb_core::pool::SessionPool` drop retired sessions and create
+    /// fresh ones.
+    pub fn recycle(&self) -> bool {
+        self.stats.reset();
+        // Retire at ≥ 3/4 interner occupancy: plenty of headroom for any
+        // realistic workload's parameter names, long before `intern` panics.
+        self.interner.len() * 4 < self.config.interner_capacity * 3
+    }
+
     // --- deprecated global compatibility shim ---------------------------
 
     /// The process-wide fallback session used by threads that have not
@@ -368,6 +408,48 @@ mod tests {
         e.set_cache_enabled(false);
         assert_eq!(e.cache_len(), 0, "stale entries must not stay resident");
         assert!(!e.cache_enabled());
+    }
+
+    #[test]
+    fn config_fingerprints_key_on_every_capacity_knob() {
+        let base = EngineConfig::default();
+        assert_eq!(base.fingerprint(), EngineConfig::default().fingerprint());
+        let smaller = EngineConfig {
+            cache_capacity: 1,
+            ..EngineConfig::default()
+        };
+        let disabled = EngineConfig {
+            cache_enabled: false,
+            ..EngineConfig::default()
+        };
+        assert_ne!(base.fingerprint(), smaller.fingerprint());
+        assert_ne!(base.fingerprint(), disabled.fingerprint());
+        assert_ne!(smaller.fingerprint(), disabled.fingerprint());
+    }
+
+    #[test]
+    fn recycle_resets_stats_and_keeps_warm_state() {
+        let e = EngineCtx::new();
+        let id = e.intern("N");
+        e.query_cache().feasibility(e.counters(), &[], 0, || true);
+        e.counters().bump_fm_elimination();
+        assert!(e.recycle(), "a fresh session is reusable");
+        assert_eq!(e.stats(), Snapshot::default(), "counters restart at zero");
+        assert_eq!(e.cache_len(), 1, "memoized results stay warm");
+        assert_eq!(e.resolve(id).as_ref(), "N", "interned names survive");
+    }
+
+    #[test]
+    fn recycle_retires_nearly_full_interners() {
+        let e = EngineCtx::with_config(EngineConfig {
+            interner_capacity: 4,
+            ..EngineConfig::default()
+        });
+        e.intern("A");
+        e.intern("B");
+        assert!(e.recycle(), "half-full interner still has headroom");
+        e.intern("C");
+        assert!(!e.recycle(), "3/4-full interner must be retired");
     }
 
     #[test]

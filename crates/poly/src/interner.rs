@@ -194,24 +194,66 @@ impl ParamTable {
 // --- deprecated global shims -----------------------------------------------
 
 /// Interns a name in the **ambient** session.
+///
+/// Migrate to an explicit session:
+///
+/// ```
+/// use iolb_poly::EngineCtx;
+///
+/// let session = EngineCtx::new();
+/// let id = session.intern("N");
+/// assert_eq!(session.intern("N"), id, "idempotent within the session");
+/// ```
 #[deprecated(note = "use EngineCtx::intern (or LinExpr::param_in) on an explicit session")]
 pub fn intern(name: &str) -> ParamId {
     crate::engine::EngineCtx::with_current(|e| e.intern(name))
 }
 
 /// Looks a name up in the **ambient** session without interning it.
+///
+/// Migrate to an explicit session:
+///
+/// ```
+/// use iolb_poly::EngineCtx;
+///
+/// let session = EngineCtx::new();
+/// assert!(session.lookup("N").is_none());
+/// let id = session.intern("N");
+/// assert_eq!(session.lookup("N"), Some(id));
+/// ```
 #[deprecated(note = "use EngineCtx::lookup on an explicit session")]
 pub fn lookup(name: &str) -> Option<ParamId> {
     crate::engine::EngineCtx::with_current(|e| e.lookup(name))
 }
 
 /// Resolves an id against the **ambient** session.
+///
+/// Migrate to an explicit session:
+///
+/// ```
+/// use iolb_poly::EngineCtx;
+///
+/// let session = EngineCtx::new();
+/// let id = session.intern("N");
+/// assert_eq!(&*session.resolve(id), "N");
+/// ```
 #[deprecated(note = "use EngineCtx::resolve on an explicit session")]
 pub fn resolve(id: ParamId) -> Arc<str> {
     crate::engine::EngineCtx::with_current(|e| e.resolve(id))
 }
 
 /// Sorts ids by name using the **ambient** session.
+///
+/// Migrate to an explicit session:
+///
+/// ```
+/// use iolb_poly::EngineCtx;
+///
+/// let session = EngineCtx::new();
+/// let mut ids = [session.intern("Nj"), session.intern("Ni")];
+/// session.sort_ids_by_name(&mut ids);
+/// assert_eq!(&*session.resolve(ids[0]), "Ni");
+/// ```
 #[deprecated(note = "use EngineCtx::sort_ids_by_name on an explicit session")]
 pub fn sort_ids_by_name(ids: &mut [ParamId]) {
     crate::engine::EngineCtx::with_current(|e| e.sort_ids_by_name(ids))

@@ -84,33 +84,42 @@ counters! {
     COUNT_CACHE_HITS / count_cache_hits / bump_count_cache_hit,
 }
 
-fn rate(hits: u64, total: u64) -> f64 {
+/// `hits / total`, or `None` when no query of the kind ran at all — a
+/// disabled cache or an idle session has **no** hit rate, which is not the
+/// same thing as a 0% one (and naively dividing would put a `NaN`, which is
+/// not valid JSON, into the serialised reports).
+fn rate(hits: u64, total: u64) -> Option<f64> {
     if total == 0 {
-        0.0
+        None
     } else {
-        hits as f64 / total as f64
+        Some(hits as f64 / total as f64)
     }
 }
 
 impl Snapshot {
-    /// Fraction of feasibility checks answered from the cache.
-    pub fn feasibility_hit_rate(&self) -> f64 {
+    /// Fraction of feasibility checks answered from the cache, or `None`
+    /// when no feasibility check ran.
+    pub fn feasibility_hit_rate(&self) -> Option<f64> {
         rate(self.FEASIBILITY_CACHE_HITS, self.FEASIBILITY_CHECKS)
     }
 
-    /// Fraction of entailment checks answered from the cache.
-    pub fn entailment_hit_rate(&self) -> f64 {
+    /// Fraction of entailment checks answered from the cache, or `None`
+    /// when no entailment check ran.
+    pub fn entailment_hit_rate(&self) -> Option<f64> {
         rate(self.ENTAILMENT_CACHE_HITS, self.ENTAILMENT_CHECKS)
     }
 
-    /// Fraction of cardinality computations answered from the cache.
-    pub fn count_hit_rate(&self) -> f64 {
+    /// Fraction of cardinality computations answered from the cache, or
+    /// `None` when no cardinality computation ran.
+    pub fn count_hit_rate(&self) -> Option<f64> {
         rate(self.COUNT_CACHE_HITS, self.COUNT_CALLS)
     }
 
     /// The three per-query-kind cache hit rates as `(name, rate)` pairs
-    /// (serialised into `BENCH_analysis.json` per session).
-    pub fn hit_rates(&self) -> Vec<(&'static str, f64)> {
+    /// (serialised into `BENCH_analysis.json` and the report JSON per
+    /// session). A `None` rate means the session saw no query of that kind
+    /// and serialises as JSON `null`, never as `NaN`.
+    pub fn hit_rates(&self) -> Vec<(&'static str, Option<f64>)> {
         vec![
             ("feasibility_hit_rate", self.feasibility_hit_rate()),
             ("entailment_hit_rate", self.entailment_hit_rate()),
@@ -122,12 +131,35 @@ impl Snapshot {
 // --- deprecated global shims -----------------------------------------------
 
 /// Snapshot of the **ambient** session's counters.
+///
+/// Migrate to an explicit session:
+///
+/// ```
+/// use iolb_poly::{fm, parse_set, EngineCtx};
+///
+/// let session = EngineCtx::new();
+/// session.scope(|| {
+///     let s = parse_set("[N] -> { S[i] : 0 <= i < N }").unwrap();
+///     fm::is_feasible_in(&EngineCtx::current(), s.constraints(), s.dim());
+/// });
+/// assert_eq!(session.stats().FEASIBILITY_CHECKS, 1);
+/// ```
 #[deprecated(note = "use EngineCtx::stats on an explicit session")]
 pub fn snapshot() -> Snapshot {
     crate::engine::EngineCtx::with_current(|e| e.stats())
 }
 
 /// Resets the **ambient** session's counters.
+///
+/// Migrate to an explicit session:
+///
+/// ```
+/// use iolb_poly::{stats::Snapshot, EngineCtx};
+///
+/// let session = EngineCtx::new();
+/// session.reset_stats();
+/// assert_eq!(session.stats(), Snapshot::default());
+/// ```
 #[deprecated(note = "use EngineCtx::reset_stats on an explicit session")]
 pub fn reset() {
     crate::engine::EngineCtx::with_current(|e| e.reset_stats())
@@ -169,15 +201,25 @@ mod tests {
 
     #[test]
     fn hit_rates_divide_safely() {
+        // Regression: a session that saw zero queries (disabled cache, idle
+        // session) has no hit rate at all — `None`, which serialises as
+        // JSON `null` — never a 0/0 division (NaN is not valid JSON).
         let s = Snapshot::default();
-        assert_eq!(s.feasibility_hit_rate(), 0.0);
+        assert_eq!(s.feasibility_hit_rate(), None);
+        assert_eq!(s.entailment_hit_rate(), None);
+        assert_eq!(s.count_hit_rate(), None);
+        assert!(s.hit_rates().iter().all(|(_, r)| r.is_none()));
         let s = Snapshot {
             FEASIBILITY_CHECKS: 4,
             FEASIBILITY_CACHE_HITS: 1,
             ..Snapshot::default()
         };
-        assert_eq!(s.feasibility_hit_rate(), 0.25);
+        assert_eq!(s.feasibility_hit_rate(), Some(0.25));
         assert_eq!(s.hit_rates().len(), 3);
+        assert!(s
+            .hit_rates()
+            .iter()
+            .all(|(_, r)| r.is_none_or(|r| r.is_finite())));
     }
 
     #[test]

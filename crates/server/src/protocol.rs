@@ -1,0 +1,495 @@
+//! The wire protocol: request parsing and response rendering.
+//!
+//! One request per line, one response per line, both JSON objects — the
+//! full field-by-field reference lives in `docs/SERVING.md`. This module is
+//! the single place where field names and error codes are defined;
+//! everything in the docs maps 1:1 to a constant or struct field here.
+//!
+//! Parsing is **strict**: unknown top-level fields, wrong field types and
+//! ambiguous workload specifications are `bad_request` errors rather than
+//! silently ignored, so client typos (`"cachesize"`, `"kernal"`) surface
+//! immediately instead of producing a subtly misconfigured analysis.
+
+use crate::json::{self, Json};
+
+/// Error code: the request line was not valid JSON, not an object, had
+/// unknown or ill-typed fields, or named no workload.
+pub const ERR_BAD_REQUEST: &str = "bad_request";
+/// Error code: `kernel` named no built-in PolyBench kernel.
+pub const ERR_UNKNOWN_KERNEL: &str = "unknown_kernel";
+/// Error code: the workload failed to prepare (unreadable `path`,
+/// front-end/lowering error in `source`); the message carries the
+/// `line:col` diagnostics.
+pub const ERR_WORKLOAD: &str = "workload_error";
+/// Error code: the request queue is full — back off and retry (the
+/// HTTP-429 analogue).
+pub const ERR_OVERLOADED: &str = "overloaded";
+/// Error code: the analysis did not finish within the request's
+/// `timeout_ms`; the worker slot is reclaimed when the analysis completes.
+pub const ERR_TIMEOUT: &str = "timeout";
+/// Error code: the server is draining after a `shutdown` request and
+/// accepts no new analyses.
+pub const ERR_SHUTTING_DOWN: &str = "shutting_down";
+/// Error code: the analysis panicked server-side (an engine invariant or
+/// capacity was violated). The worker survives — the panic is isolated to
+/// the one request — but the input likely needs changing.
+pub const ERR_INTERNAL: &str = "internal_error";
+
+/// What to analyse: exactly one of the three workload fields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// `"kernel"`: a built-in PolyBench kernel by name.
+    Kernel(String),
+    /// `"source"`: inline affine-C (`.iolb`) program text.
+    Source(String),
+    /// `"path"`: a `.iolb` file read server-side.
+    Path(String),
+}
+
+/// A parsed `analyze` request (the default `op`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalyzeRequest {
+    /// Client correlation id, echoed verbatim into the response.
+    pub id: Json,
+    /// The workload to analyse.
+    pub workload: WorkloadSpec,
+    /// `"params"`: program-parameter values for the combination heuristics.
+    pub params: Vec<(String, i128)>,
+    /// `"cache_param"`: rename of the fast-memory capacity parameter.
+    pub cache_param: Option<String>,
+    /// `"cache_size"`: fast-memory capacity in words.
+    pub cache_size: Option<i128>,
+    /// `"cache_cap"`: session memoization-cache capacity in entries.
+    pub cache_cap: Option<usize>,
+    /// `"depth"`: maximum loop-parametrization depth.
+    pub depth: Option<usize>,
+    /// `"parallel"`: opt into the parallel per-request driver (default
+    /// `false`: the server already runs requests concurrently, and nesting
+    /// the driver's own fan-out on top oversubscribes the machine).
+    pub parallel: bool,
+    /// `"timeout_ms"`: per-request timeout override.
+    pub timeout_ms: Option<u64>,
+}
+
+/// Any parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// `op: "analyze"` (or omitted): run an analysis.
+    Analyze(Box<AnalyzeRequest>),
+    /// `op: "ping"`: liveness probe.
+    Ping(Json),
+    /// `op: "stats"`: server/pool/queue counters.
+    Stats(Json),
+    /// `op: "shutdown"`: ack, then drain and exit.
+    Shutdown(Json),
+}
+
+/// A protocol-level failure, rendered by [`error_response`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestError {
+    /// The echoed id (compact JSON; `null` when the line had none).
+    pub id: String,
+    /// One of the `ERR_*` codes.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+fn bad(id: &Json, message: impl Into<String>) -> RequestError {
+    RequestError {
+        id: id.render(),
+        code: ERR_BAD_REQUEST,
+        message: message.into(),
+    }
+}
+
+/// Every top-level field an `analyze` request may carry.
+const ANALYZE_FIELDS: &[&str] = &[
+    "id",
+    "op",
+    "kernel",
+    "source",
+    "path",
+    "params",
+    "cache_param",
+    "cache_size",
+    "cache_cap",
+    "depth",
+    "parallel",
+    "timeout_ms",
+];
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let doc = json::parse(line).map_err(|e| bad(&Json::Null, format!("invalid JSON: {e}")))?;
+    let fields = doc
+        .as_obj()
+        .ok_or_else(|| bad(&Json::Null, "request must be a JSON object"))?;
+    let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    let op = match doc.get("op") {
+        None => "analyze",
+        Some(Json::Str(op)) => op.as_str(),
+        Some(other) => {
+            return Err(bad(
+                &id,
+                format!("field \"op\" must be a string, got {}", other.type_name()),
+            ))
+        }
+    };
+    match op {
+        "ping" | "stats" | "shutdown" => {
+            if let Some((key, _)) = fields.iter().find(|(k, _)| k != "id" && k != "op") {
+                return Err(bad(
+                    &id,
+                    format!("field \"{key}\" is not valid for op \"{op}\""),
+                ));
+            }
+            Ok(match op {
+                "ping" => Request::Ping(id),
+                "stats" => Request::Stats(id),
+                _ => Request::Shutdown(id),
+            })
+        }
+        "analyze" => parse_analyze(&doc, fields, id).map(|r| Request::Analyze(Box::new(r))),
+        other => Err(bad(
+            &id,
+            format!(
+                "unknown op \"{other}\" (want \"analyze\", \"ping\", \"stats\" or \"shutdown\")"
+            ),
+        )),
+    }
+}
+
+fn parse_analyze(
+    doc: &Json,
+    fields: &[(String, Json)],
+    id: Json,
+) -> Result<AnalyzeRequest, RequestError> {
+    if let Some((key, _)) = fields
+        .iter()
+        .find(|(k, _)| !ANALYZE_FIELDS.contains(&k.as_str()))
+    {
+        return Err(bad(&id, format!("unknown field \"{key}\"")));
+    }
+
+    let mut workloads: Vec<WorkloadSpec> = Vec::new();
+    for (key, make) in [
+        ("kernel", WorkloadSpec::Kernel as fn(String) -> WorkloadSpec),
+        ("source", WorkloadSpec::Source as fn(String) -> WorkloadSpec),
+        ("path", WorkloadSpec::Path as fn(String) -> WorkloadSpec),
+    ] {
+        if let Some(value) = doc.get(key) {
+            let text = value.as_str().ok_or_else(|| {
+                bad(
+                    &id,
+                    format!(
+                        "field \"{key}\" must be a string, got {}",
+                        value.type_name()
+                    ),
+                )
+            })?;
+            workloads.push(make(text.to_string()));
+        }
+    }
+    let workload = match workloads.len() {
+        1 => workloads.pop().expect("one element"),
+        0 => {
+            return Err(bad(
+                &id,
+                "no workload: pass exactly one of \"kernel\", \"source\" or \"path\"",
+            ))
+        }
+        _ => {
+            return Err(bad(
+                &id,
+                "ambiguous workload: pass exactly one of \"kernel\", \"source\" or \"path\"",
+            ))
+        }
+    };
+
+    let mut params: Vec<(String, i128)> = Vec::new();
+    if let Some(value) = doc.get("params") {
+        let obj = value.as_obj().ok_or_else(|| {
+            bad(
+                &id,
+                format!(
+                    "field \"params\" must be an object of name -> integer, got {}",
+                    value.type_name()
+                ),
+            )
+        })?;
+        for (name, v) in obj {
+            let value = v.as_i128().ok_or_else(|| {
+                bad(
+                    &id,
+                    format!(
+                        "parameter \"{name}\" must be an integer, got {}",
+                        v.type_name()
+                    ),
+                )
+            })?;
+            params.push((name.clone(), value));
+        }
+    }
+
+    let string_field = |key: &str| -> Result<Option<String>, RequestError> {
+        match doc.get(key) {
+            None => Ok(None),
+            Some(Json::Str(s)) => Ok(Some(s.clone())),
+            Some(other) => Err(bad(
+                &id,
+                format!(
+                    "field \"{key}\" must be a string, got {}",
+                    other.type_name()
+                ),
+            )),
+        }
+    };
+    let usize_field = |key: &str| -> Result<Option<usize>, RequestError> {
+        match doc.get(key) {
+            None => Ok(None),
+            Some(value) => value.as_usize().map(Some).ok_or_else(|| {
+                bad(
+                    &id,
+                    format!(
+                        "field \"{key}\" must be a non-negative integer, got {}",
+                        value.type_name()
+                    ),
+                )
+            }),
+        }
+    };
+
+    let cache_param = string_field("cache_param")?;
+    let cache_size = match doc.get("cache_size") {
+        None => None,
+        Some(value) => Some(value.as_i128().ok_or_else(|| {
+            bad(
+                &id,
+                format!(
+                    "field \"cache_size\" must be an integer, got {}",
+                    value.type_name()
+                ),
+            )
+        })?),
+    };
+    let cache_cap = usize_field("cache_cap")?;
+    let depth = usize_field("depth")?;
+    let parallel = match doc.get("parallel") {
+        None => false,
+        Some(value) => value.as_bool().ok_or_else(|| {
+            bad(
+                &id,
+                format!(
+                    "field \"parallel\" must be a boolean, got {}",
+                    value.type_name()
+                ),
+            )
+        })?,
+    };
+    let timeout_ms = match doc.get("timeout_ms") {
+        None => None,
+        Some(value) => match value.as_u64() {
+            Some(ms) if ms > 0 => Some(ms),
+            _ => {
+                return Err(bad(
+                    &id,
+                    format!(
+                        "field \"timeout_ms\" must be a positive integer, got {}",
+                        value.render()
+                    ),
+                ))
+            }
+        },
+    };
+
+    Ok(AnalyzeRequest {
+        id,
+        workload,
+        params,
+        cache_param,
+        cache_size,
+        cache_cap,
+        depth,
+        parallel,
+        timeout_ms,
+    })
+}
+
+/// Per-request service-side measurements, reported in the `server` object
+/// of every successful response.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceTimings {
+    /// Milliseconds the request waited in the queue before a worker picked
+    /// it up.
+    pub queue_ms: f64,
+    /// Milliseconds of worker service time: session checkout + workload
+    /// preparation + analysis + response rendering.
+    pub service_ms: f64,
+    /// Milliseconds of the driver run alone (the `AnalysisOutcome`'s
+    /// wall-clock; excludes preparation).
+    pub analysis_ms: f64,
+    /// Whether the request was served by a warm pooled session.
+    pub session_warm: bool,
+    /// Idle sessions resident in the pool when the response was rendered
+    /// (the serving session itself is checked in just after, so it is not
+    /// counted).
+    pub pool_sessions: usize,
+}
+
+/// Renders a successful `analyze` response. `report_json` is the (possibly
+/// multi-line) document from `AnalysisOutcome::to_json`; it is embedded
+/// compactly so the response stays one line.
+pub fn ok_response(id: &str, report_json: &str, timings: &ServiceTimings) -> String {
+    format!(
+        "{{\"id\":{id},\"status\":\"ok\",\"report\":{},\"server\":{{\"queue_ms\":{:.3},\"service_ms\":{:.3},\"analysis_ms\":{:.3},\"session_warm\":{},\"pool_sessions\":{}}}}}",
+        json::compact(report_json).trim_end(),
+        timings.queue_ms,
+        timings.service_ms,
+        timings.analysis_ms,
+        timings.session_warm,
+        timings.pool_sessions,
+    )
+}
+
+/// Renders an error response from an echoed id (compact JSON), an `ERR_*`
+/// code and a message.
+pub fn error_response(id: &str, code: &str, message: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"status\":\"error\",\"error\":{{\"code\":{},\"message\":{}}}}}",
+        json::escape(code),
+        json::escape(message),
+    )
+}
+
+impl RequestError {
+    /// Renders this error as a response line.
+    pub fn to_response(&self) -> String {
+        error_response(&self.id, self.code, &self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_kernel_request() {
+        let req = parse_request(r#"{"id": "r1", "kernel": "gemm"}"#).unwrap();
+        let Request::Analyze(req) = req else {
+            panic!("want analyze, got {req:?}");
+        };
+        assert_eq!(req.id.render(), "\"r1\"");
+        assert_eq!(req.workload, WorkloadSpec::Kernel("gemm".into()));
+        assert!(!req.parallel);
+        assert_eq!(req.timeout_ms, None);
+    }
+
+    #[test]
+    fn parses_every_knob() {
+        let req = parse_request(
+            r#"{"id": 7, "op": "analyze", "source": "parameter N;", "params": {"N": 100},
+                "cache_param": "Cap", "cache_size": 512, "cache_cap": 1024, "depth": 1,
+                "parallel": true, "timeout_ms": 5000}"#,
+        )
+        .unwrap();
+        let Request::Analyze(req) = req else {
+            panic!("want analyze");
+        };
+        assert_eq!(req.id.render(), "7");
+        assert_eq!(req.workload, WorkloadSpec::Source("parameter N;".into()));
+        assert_eq!(req.params, vec![("N".to_string(), 100)]);
+        assert_eq!(req.cache_param.as_deref(), Some("Cap"));
+        assert_eq!(req.cache_size, Some(512));
+        assert_eq!(req.cache_cap, Some(1024));
+        assert_eq!(req.depth, Some(1));
+        assert!(req.parallel);
+        assert_eq!(req.timeout_ms, Some(5000));
+    }
+
+    #[test]
+    fn parses_control_ops() {
+        assert_eq!(
+            parse_request(r#"{"op": "ping"}"#).unwrap(),
+            Request::Ping(Json::Null)
+        );
+        assert_eq!(
+            parse_request(r#"{"op": "stats", "id": "s"}"#).unwrap(),
+            Request::Stats(Json::Str("s".into()))
+        );
+        assert_eq!(
+            parse_request(r#"{"op": "shutdown"}"#).unwrap(),
+            Request::Shutdown(Json::Null)
+        );
+        // Control ops reject analyze-only fields.
+        let e = parse_request(r#"{"op": "ping", "kernel": "gemm"}"#).unwrap_err();
+        assert!(e.message.contains("not valid for op"), "{}", e.message);
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_the_echoed_id() {
+        let cases = [
+            ("not json", "invalid JSON"),
+            ("[1]", "must be a JSON object"),
+            (r#"{"id": "x"}"#, "no workload"),
+            (
+                r#"{"id": "x", "kernel": "a", "path": "b"}"#,
+                "ambiguous workload",
+            ),
+            (
+                r#"{"id": "x", "kernel": "a", "frobnicate": 1}"#,
+                "unknown field",
+            ),
+            (r#"{"id": "x", "kernel": 3}"#, "must be a string"),
+            (
+                r#"{"id": "x", "kernel": "a", "params": {"N": "big"}}"#,
+                "must be an integer",
+            ),
+            (
+                r#"{"id": "x", "kernel": "a", "timeout_ms": 0}"#,
+                "positive integer",
+            ),
+            (r#"{"id": "x", "kernel": "a", "depth": -1}"#, "non-negative"),
+            (r#"{"id": "x", "op": "frobnicate"}"#, "unknown op"),
+        ];
+        for (line, want) in cases {
+            let e = parse_request(line).unwrap_err();
+            assert_eq!(e.code, ERR_BAD_REQUEST, "{line}");
+            assert!(e.message.contains(want), "{line}: {}", e.message);
+        }
+        let e = parse_request(r#"{"id": "x"}"#).unwrap_err();
+        assert_eq!(e.id, "\"x\"", "the id is echoed even on errors");
+    }
+
+    #[test]
+    fn responses_are_single_well_formed_lines() {
+        let timings = ServiceTimings {
+            queue_ms: 0.5,
+            service_ms: 12.25,
+            analysis_ms: 11.0,
+            session_warm: true,
+            pool_sessions: 3,
+        };
+        let ok = ok_response("\"r1\"", "{\n  \"schema_version\": 1\n}\n", &timings);
+        assert!(!ok.contains('\n'));
+        let doc = crate::json::parse(&ok).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(
+            doc.get("report").unwrap().get("schema_version"),
+            Some(&Json::Int(1))
+        );
+        assert_eq!(
+            doc.get("server").unwrap().get("session_warm"),
+            Some(&Json::Bool(true))
+        );
+
+        let err = error_response("null", ERR_OVERLOADED, "queue full (64 requests)");
+        assert!(!err.contains('\n'));
+        let doc = crate::json::parse(&err).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(
+            doc.get("error").unwrap().get("code").unwrap().as_str(),
+            Some(ERR_OVERLOADED)
+        );
+    }
+}

@@ -1,0 +1,812 @@
+//! The analysis daemon: bounded queue, worker pool, session pool, drain.
+//!
+//! ```text
+//!                    ┌──────────────────────── Server ───────────────────────┐
+//! client line ──────▶│ handle_line ──▶ bounded queue ──▶ worker threads      │
+//!   (TCP conn /      │   (parse,        (backpressure:     │  checkout ──────┼──▶ SessionPool
+//!    stdio, tests)   │    control ops    `overloaded`      │  Analyzer.run       (warm EngineCtx,
+//!                    │    inline)        when full)        │  checkin            LRU, fingerprint-
+//!                    │       ▲                             ▼                     keyed)
+//!                    │       └──────── reply channel ◀── response line        │
+//!                    └───────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Every analysis runs inside its own engine session drawn from the
+//! [`SessionPool`], so concurrent requests share no interner, cache or
+//! counters — the per-request `engine_stats` in the response are exact
+//! deltas for that request alone. Timeouts release the *client* (the worker
+//! cannot preempt a running analysis; it finishes, its result is dropped,
+//! and the slot frees up), and queued requests whose client already timed
+//! out are skipped without being analysed.
+//!
+//! Shutdown is a drain: after a `shutdown` request (or
+//! [`Server::shutdown`]), new analyses are refused with `shutting_down`,
+//! already-queued requests are still served, and the worker threads are
+//! joined once the queue is empty.
+
+use crate::protocol::{
+    self, ok_response, parse_request, AnalyzeRequest, Request, ServiceTimings, WorkloadSpec,
+    ERR_OVERLOADED, ERR_SHUTTING_DOWN, ERR_TIMEOUT, ERR_UNKNOWN_KERNEL, ERR_WORKLOAD,
+};
+use iolb_core::pool::SessionPool;
+use iolb_core::Analyzer;
+use iolb_poly::EngineConfig;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of one [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing analyses (default: the machine's available
+    /// parallelism; [`Server::start`] clamps 0 to 1).
+    pub workers: usize,
+    /// Maximum queued (not yet executing) requests before new ones are
+    /// refused with `overloaded` (default 64; [`Server::start`] clamps 0 to
+    /// 1 — every request passes through the queue, so a zero-length queue
+    /// would reject everything even with idle workers).
+    pub queue_capacity: usize,
+    /// Maximum idle warm sessions retained between requests (default 8).
+    pub pool_capacity: usize,
+    /// Timeout applied to requests that carry no `timeout_ms` of their own
+    /// (default 120 000 ms).
+    pub default_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            queue_capacity: 64,
+            pool_capacity: 8,
+            default_timeout_ms: 120_000,
+        }
+    }
+}
+
+/// One queued analysis.
+struct Job {
+    request: AnalyzeRequest,
+    reply: mpsc::Sender<String>,
+    enqueued_at: Instant,
+    /// Set by the client when it stops waiting (timeout); a worker popping
+    /// an abandoned job skips the analysis.
+    abandoned: Arc<AtomicBool>,
+}
+
+#[derive(Default)]
+struct Metrics {
+    received: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    overloaded: AtomicU64,
+    timeouts: AtomicU64,
+    abandoned: AtomicU64,
+}
+
+struct Inner {
+    config: ServerConfig,
+    pool: SessionPool,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    draining: AtomicBool,
+    metrics: Metrics,
+}
+
+/// A running analysis daemon. See the [module docs](self) and
+/// `docs/SERVING.md`.
+///
+/// The server is transport-agnostic: [`Server::handle_line`] maps one
+/// request line to one response line and is what the TCP accept loop
+/// ([`Server::serve_listener`]), the stdio loop ([`Server::serve_stdio`])
+/// and in-process tests all call.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Starts the worker threads and returns the ready server.
+    pub fn start(config: ServerConfig) -> Server {
+        // Degenerate capacities are clamped rather than honoured: zero
+        // workers would serve nothing, and a zero-length queue would bounce
+        // every request with `overloaded` (admission always passes through
+        // the queue, even with idle workers).
+        let config = ServerConfig {
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            ..config
+        };
+        let inner = Arc::new(Inner {
+            pool: SessionPool::new(config.pool_capacity),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            metrics: Metrics::default(),
+            config,
+        });
+        let workers = (0..inner.config.workers)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("iolb-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Server {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.inner.config
+    }
+
+    /// True once a `shutdown` request (or [`Server::shutdown`]) started the
+    /// drain.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Handles one request line and returns the one response line (no
+    /// trailing newline). Blocks the caller for the duration of an
+    /// `analyze` request — run one handler per client connection.
+    pub fn handle_line(&self, line: &str) -> String {
+        let request = match parse_request(line) {
+            Ok(request) => request,
+            Err(e) => return e.to_response(),
+        };
+        match request {
+            Request::Ping(id) => {
+                format!("{{\"id\":{},\"status\":\"ok\",\"pong\":true}}", id.render())
+            }
+            Request::Stats(id) => self.stats_response(&id.render()),
+            Request::Shutdown(id) => {
+                self.begin_drain();
+                format!(
+                    "{{\"id\":{},\"status\":\"ok\",\"draining\":true}}",
+                    id.render()
+                )
+            }
+            Request::Analyze(request) => self.handle_analyze(*request),
+        }
+    }
+
+    fn handle_analyze(&self, request: AnalyzeRequest) -> String {
+        let inner = &*self.inner;
+        inner.metrics.received.fetch_add(1, Ordering::Relaxed);
+        let id = request.id.render();
+        let timeout = Duration::from_millis(
+            request
+                .timeout_ms
+                .unwrap_or(inner.config.default_timeout_ms),
+        );
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let abandoned = Arc::new(AtomicBool::new(false));
+        {
+            let mut queue = inner.queue.lock().unwrap();
+            // The drain check must happen under the queue lock: workers
+            // decide to exit under this same lock (empty queue + draining),
+            // so a request admitted here while draining is false is
+            // guaranteed a live worker. An unlocked check would race with
+            // shutdown and strand the job in the queue forever.
+            if inner.draining.load(Ordering::SeqCst) {
+                return protocol::error_response(
+                    &id,
+                    ERR_SHUTTING_DOWN,
+                    "server is draining and accepts no new analyses",
+                );
+            }
+            if queue.len() >= inner.config.queue_capacity {
+                inner.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+                return protocol::error_response(
+                    &id,
+                    ERR_OVERLOADED,
+                    &format!(
+                        "request queue is full ({} queued); retry with backoff",
+                        queue.len()
+                    ),
+                );
+            }
+            queue.push_back(Job {
+                request,
+                reply: reply_tx,
+                enqueued_at: Instant::now(),
+                abandoned: abandoned.clone(),
+            });
+        }
+        inner.queue_cv.notify_one();
+        match reply_rx.recv_timeout(timeout) {
+            Ok(response) => response,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                abandoned.store(true, Ordering::SeqCst);
+                inner.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                protocol::error_response(
+                    &id,
+                    ERR_TIMEOUT,
+                    &format!(
+                        "analysis did not finish within {} ms (it keeps running server-side; \
+                         raise \"timeout_ms\" for heavy kernels)",
+                        timeout.as_millis()
+                    ),
+                )
+            }
+            // Unreachable while workers catch panics (they always send),
+            // but a dropped channel must never masquerade as a timeout.
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                protocol::error_response(
+                    &id,
+                    protocol::ERR_INTERNAL,
+                    "the worker dropped the request without responding",
+                )
+            }
+        }
+    }
+
+    fn stats_response(&self, id: &str) -> String {
+        let inner = &*self.inner;
+        let m = &inner.metrics;
+        let pool = inner.pool.stats();
+        format!(
+            "{{\"id\":{id},\"status\":\"ok\",\"server_stats\":{{\
+             \"workers\":{},\"queue_capacity\":{},\"queue_depth\":{},\"draining\":{},\
+             \"requests_received\":{},\"requests_completed\":{},\"requests_failed\":{},\
+             \"rejected_overloaded\":{},\"timeouts\":{},\"abandoned_skipped\":{},\
+             \"pool\":{{\"capacity\":{},\"idle_sessions\":{},\"hits\":{},\"misses\":{},\
+             \"evictions\":{},\"retired\":{}}}}}}}",
+            inner.config.workers,
+            inner.config.queue_capacity,
+            inner.queue.lock().unwrap().len(),
+            inner.draining.load(Ordering::SeqCst),
+            m.received.load(Ordering::Relaxed),
+            m.completed.load(Ordering::Relaxed),
+            m.failed.load(Ordering::Relaxed),
+            m.overloaded.load(Ordering::Relaxed),
+            m.timeouts.load(Ordering::Relaxed),
+            m.abandoned.load(Ordering::Relaxed),
+            inner.pool.capacity(),
+            inner.pool.len(),
+            pool.hits,
+            pool.misses,
+            pool.evictions,
+            pool.retired,
+        )
+    }
+
+    fn begin_drain(&self) {
+        // The flag must be set (and the notify fired) under the queue lock:
+        // a worker's empty-queue + not-draining check and its subsequent
+        // cv.wait are only atomic with respect to sections that hold the
+        // same mutex. An unlocked store+notify could land exactly between a
+        // worker's check and its wait — the notification would find no
+        // waiter, the worker would sleep forever, and shutdown would hang.
+        let _queue = self.inner.queue.lock().unwrap();
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+    }
+
+    /// Drains and stops the server: refuses new analyses, serves what is
+    /// already queued, joins the workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.begin_drain();
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock().unwrap());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Serves line-delimited JSON over TCP until a `shutdown` request
+    /// arrives, then drains and returns. One thread per connection; a
+    /// connection handles its requests sequentially (open several
+    /// connections for concurrency).
+    pub fn serve_listener(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        let addr = listener.local_addr()?;
+        // The wake-up poke after a shutdown request must be a *connectable*
+        // address: a bind to 0.0.0.0/:: listens everywhere but is not
+        // itself a destination on every platform, so poke loopback on the
+        // bound port instead.
+        let wake_addr = if addr.ip().is_unspecified() {
+            let loopback: std::net::IpAddr = if addr.is_ipv4() {
+                std::net::Ipv4Addr::LOCALHOST.into()
+            } else {
+                std::net::Ipv6Addr::LOCALHOST.into()
+            };
+            std::net::SocketAddr::new(loopback, addr.port())
+        } else {
+            addr
+        };
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        for stream in listener.incoming() {
+            if self.is_draining() {
+                break;
+            }
+            let stream = stream?;
+            let server = self.clone();
+            // Reap finished connection threads so the handle list stays
+            // proportional to *active* connections, not total served.
+            connections.retain(|handle| !handle.is_finished());
+            connections.push(std::thread::spawn(move || {
+                let _ = handle_connection(&server, stream, wake_addr);
+            }));
+        }
+        for handle in connections {
+            let _ = handle.join();
+        }
+        self.shutdown();
+        Ok(())
+    }
+
+    /// Serves line-delimited JSON on stdin/stdout until EOF or a `shutdown`
+    /// request, then drains and returns. Requests are handled sequentially.
+    pub fn serve_stdio(&self) -> std::io::Result<()> {
+        let stdin = std::io::stdin();
+        let mut stdout = std::io::stdout().lock();
+        for line in stdin.lock().lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = self.handle_line(&line);
+            writeln!(stdout, "{response}")?;
+            stdout.flush()?;
+            if self.is_draining() {
+                break;
+            }
+        }
+        self.shutdown();
+        Ok(())
+    }
+}
+
+/// One TCP connection: read a line, answer a line, until EOF or drain.
+///
+/// Reads use a short timeout so a connection blocked waiting for its
+/// client's next request still observes the drain flag and closes — this
+/// is what lets [`Server::serve_listener`] join every connection thread
+/// during shutdown instead of hanging on idle-but-open connections. After
+/// the request that *started* the drain, the handler also pokes the accept
+/// loop awake with a dummy connection.
+fn handle_connection(
+    server: &Arc<Server>,
+    stream: TcpStream,
+    listener_addr: std::net::SocketAddr,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    // Raw bytes, not a String: on a timeout tick `read_until` keeps the
+    // partial line in the buffer verbatim, whereas `read_line` would
+    // discard everything it had appended whenever the tick happened to
+    // split a multi-byte UTF-8 character (std truncates the String rather
+    // than leave half a character in it) — losing request bytes already
+    // consumed from the socket.
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => return Ok(()), // EOF: the client hung up.
+            Ok(_) => {
+                let response = match std::str::from_utf8(&buf) {
+                    Ok(line) if line.trim().is_empty() => None,
+                    Ok(line) => {
+                        let was_draining = server.is_draining();
+                        let response = server.handle_line(line.trim());
+                        if server.is_draining() && !was_draining {
+                            // This request started the drain: wake the
+                            // blocked accept call so serve_listener exits.
+                            let _ = TcpStream::connect(listener_addr);
+                        }
+                        Some(response)
+                    }
+                    Err(_) => Some(protocol::error_response(
+                        "null",
+                        protocol::ERR_BAD_REQUEST,
+                        "request line is not valid UTF-8",
+                    )),
+                };
+                if let Some(response) = response {
+                    writeln!(writer, "{response}")?;
+                    writer.flush()?;
+                }
+                buf.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle poll tick; partially-read bytes stay in `buf`.
+                if server.is_draining() {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = inner.queue_cv.wait(queue).unwrap();
+            }
+        };
+        if job.abandoned.load(Ordering::SeqCst) {
+            // The client already timed out while the job sat in the queue:
+            // skip the analysis entirely.
+            inner.metrics.abandoned.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let queue_ms = job.enqueued_at.elapsed().as_secs_f64() * 1e3;
+        // Panic isolation: a request that trips an engine invariant (e.g. a
+        // workload interning more parameter names than the session allows)
+        // must cost that one request an `internal_error` response, not kill
+        // the worker thread — dead workers would silently shrink the pool
+        // until the daemon stops serving.
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(inner, &job.request, queue_ms)
+        }))
+        .unwrap_or_else(|panic| {
+            inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            protocol::error_response(
+                &job.request.id.render(),
+                protocol::ERR_INTERNAL,
+                &format!("analysis panicked: {message}"),
+            )
+        });
+        // A send failure means the client stopped waiting; nothing to do.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Runs one analysis in a pooled session and renders the response line.
+fn execute(inner: &Inner, request: &AnalyzeRequest, queue_ms: f64) -> String {
+    let id = request.id.render();
+    let started = Instant::now();
+
+    let mut engine_config = EngineConfig::default();
+    if let Some(cap) = request.cache_cap {
+        engine_config.cache_capacity = cap;
+    }
+    let checkout = inner.pool.checkout(&engine_config);
+
+    let mut analyzer = Analyzer::new()
+        .engine(checkout.engine.clone())
+        .parallel(request.parallel);
+    if let Some(depth) = request.depth {
+        analyzer = analyzer.max_parametrization_depth(depth);
+    } else if !matches!(request.workload, WorkloadSpec::Kernel(_)) {
+        // User programs default to the global analysis, like `iolb analyze`
+        // (built-in kernels keep their tuned depth).
+        analyzer = analyzer.max_parametrization_depth(0);
+    }
+    if let Some(cache_param) = &request.cache_param {
+        analyzer = analyzer.cache_param(cache_param.clone());
+    }
+    if let Some(cache_size) = request.cache_size {
+        analyzer = analyzer.cache_size(cache_size);
+    }
+    for (name, value) in &request.params {
+        analyzer = analyzer.param(name.clone(), *value);
+    }
+
+    let outcome = match &request.workload {
+        WorkloadSpec::Kernel(name) => match iolb_polybench::kernel_by_name(name) {
+            Some(kernel) => analyzer.analyze(&kernel),
+            None => {
+                inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                inner.pool.checkin(checkout.engine);
+                return protocol::error_response(
+                    &id,
+                    ERR_UNKNOWN_KERNEL,
+                    &format!("unknown kernel \"{name}\" (see `iolb kernels` for the list)"),
+                );
+            }
+        },
+        WorkloadSpec::Source(text) => analyzer.analyze(&iolb_frontend::IolbSource::new(text)),
+        WorkloadSpec::Path(path) => analyzer.analyze(&iolb_frontend::IolbFile::new(path)),
+    };
+
+    let response = match outcome {
+        Ok(outcome) => {
+            inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            let timings = ServiceTimings {
+                queue_ms,
+                service_ms: started.elapsed().as_secs_f64() * 1e3,
+                analysis_ms: outcome.elapsed.as_secs_f64() * 1e3,
+                session_warm: checkout.warm,
+                pool_sessions: inner.pool.len(),
+            };
+            ok_response(&id, &outcome.to_json(), &timings)
+        }
+        Err(e) => {
+            inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            protocol::error_response(&id, ERR_WORKLOAD, &e.to_string())
+        }
+    };
+    inner.pool.checkin(checkout.engine);
+    response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn server(config: ServerConfig) -> Server {
+        Server::start(config)
+    }
+
+    #[test]
+    fn serves_a_kernel_request_in_process() {
+        let s = server(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        });
+        let response = s.handle_line(r#"{"id": "r1", "kernel": "gemm"}"#);
+        let doc = json::parse(&response).expect("response is valid JSON");
+        assert_eq!(doc.get("id").unwrap().as_str(), Some("r1"));
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        let report = doc.get("report").unwrap();
+        assert_eq!(report.get("schema_version"), Some(&json::Json::Int(1)));
+        assert_eq!(
+            report.get("q_asymptotic").unwrap().as_str(),
+            Some("2*Ni*Nj*Nk*S^(-1/2)")
+        );
+        assert!(report.get("engine_stats").is_some());
+        let server_obj = doc.get("server").unwrap();
+        assert_eq!(
+            server_obj.get("session_warm"),
+            Some(&json::Json::Bool(false))
+        );
+        s.shutdown();
+    }
+
+    #[test]
+    fn repeat_requests_reuse_warm_sessions() {
+        let s = server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let first = s.handle_line(r#"{"kernel": "gemm"}"#);
+        let second = s.handle_line(r#"{"kernel": "gemm"}"#);
+        let warm = |r: &str| {
+            json::parse(r)
+                .unwrap()
+                .get("server")
+                .unwrap()
+                .get("session_warm")
+                .unwrap()
+                .as_bool()
+                .unwrap()
+        };
+        assert!(!warm(&first));
+        assert!(warm(&second), "the second request gets the pooled session");
+        // Warm or cold, the bound is byte-identical.
+        let q = |r: &str| {
+            json::parse(r)
+                .unwrap()
+                .get("report")
+                .unwrap()
+                .get("q_low")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(q(&first), q(&second));
+        s.shutdown();
+    }
+
+    #[test]
+    fn unknown_kernel_and_bad_source_report_errors() {
+        let s = server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let response = s.handle_line(r#"{"id": 1, "kernel": "frobnicate"}"#);
+        let doc = json::parse(&response).unwrap();
+        assert_eq!(
+            doc.get("error").unwrap().get("code").unwrap().as_str(),
+            Some(ERR_UNKNOWN_KERNEL)
+        );
+        let response =
+            s.handle_line(r#"{"id": 2, "source": "parameter N;\ndouble A[N];\nfor (i = 0; i < N; i++)\n  A[i*i] = 0;\n"}"#);
+        let doc = json::parse(&response).unwrap();
+        assert_eq!(
+            doc.get("error").unwrap().get("code").unwrap().as_str(),
+            Some(ERR_WORKLOAD)
+        );
+        assert!(
+            doc.get("error")
+                .unwrap()
+                .get("message")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("non-affine"),
+            "front-end diagnostics pass through"
+        );
+        s.shutdown();
+    }
+
+    #[test]
+    fn draining_refuses_new_analyses_and_acks_shutdown() {
+        let s = server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let ack = s.handle_line(r#"{"id": "bye", "op": "shutdown"}"#);
+        let doc = json::parse(&ack).unwrap();
+        assert_eq!(doc.get("draining"), Some(&json::Json::Bool(true)));
+        assert!(s.is_draining());
+        let refused = s.handle_line(r#"{"kernel": "gemm"}"#);
+        let doc = json::parse(&refused).unwrap();
+        assert_eq!(
+            doc.get("error").unwrap().get("code").unwrap().as_str(),
+            Some(ERR_SHUTTING_DOWN)
+        );
+        s.shutdown();
+    }
+
+    #[test]
+    fn stats_op_reports_counters() {
+        let s = server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let _ = s.handle_line(r#"{"kernel": "gemm"}"#);
+        let stats = s.handle_line(r#"{"op": "stats"}"#);
+        let doc = json::parse(&stats).unwrap();
+        let ss = doc.get("server_stats").unwrap();
+        assert_eq!(ss.get("requests_received"), Some(&json::Json::Int(1)));
+        assert_eq!(ss.get("requests_completed"), Some(&json::Json::Int(1)));
+        assert_eq!(ss.get("workers"), Some(&json::Json::Int(1)));
+        let pool = ss.get("pool").unwrap();
+        assert_eq!(pool.get("misses"), Some(&json::Json::Int(1)));
+        s.shutdown();
+    }
+
+    #[test]
+    fn ping_answers_inline() {
+        let s = server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let pong = s.handle_line(r#"{"id": 9, "op": "ping"}"#);
+        let doc = json::parse(&pong).unwrap();
+        assert_eq!(doc.get("pong"), Some(&json::Json::Bool(true)));
+        assert_eq!(doc.get("id"), Some(&json::Json::Int(9)));
+        s.shutdown();
+    }
+
+    #[test]
+    fn panicking_requests_are_isolated_from_the_worker() {
+        // A source program with more distinct parameter names than the
+        // session interner holds (4096) panics inside the engine. The
+        // panic must cost that request an `internal_error` response — not
+        // the worker thread: with a single worker, a follow-up request
+        // proves the daemon still serves.
+        let names: Vec<String> = (0..4200).map(|i| format!("p{i}")).collect();
+        let source = format!(
+            "parameter {};\\ndouble A[p0];\\nfor (i = 0; i < p0; i++)\\n  A[i] = 0;\\n",
+            names.join(", ")
+        );
+        let s = server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let boomed = s.handle_line(&format!(r#"{{"id": "boom", "source": "{source}"}}"#));
+        let doc = json::parse(&boomed).unwrap();
+        assert_eq!(
+            doc.get("error").unwrap().get("code").unwrap().as_str(),
+            Some(protocol::ERR_INTERNAL),
+            "{boomed}"
+        );
+        assert!(
+            doc.get("error")
+                .unwrap()
+                .get("message")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("interner capacity"),
+            "{boomed}"
+        );
+        let after = s.handle_line(r#"{"id": "after", "kernel": "gemm"}"#);
+        let doc = json::parse(&after).unwrap();
+        assert_eq!(
+            doc.get("status").unwrap().as_str(),
+            Some("ok"),
+            "the sole worker must survive the panic: {after}"
+        );
+        s.shutdown();
+    }
+
+    #[test]
+    fn timeout_releases_the_client() {
+        let s = server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        // 1 ms cannot possibly cover a cholesky analysis.
+        let response = s.handle_line(r#"{"id": "slow", "kernel": "cholesky", "timeout_ms": 1}"#);
+        let doc = json::parse(&response).unwrap();
+        assert_eq!(
+            doc.get("error").unwrap().get("code").unwrap().as_str(),
+            Some(ERR_TIMEOUT)
+        );
+        s.shutdown();
+    }
+
+    #[test]
+    fn overload_rejects_when_the_queue_is_full() {
+        // No worker can make progress on these: one busy worker (occupied by
+        // the first slow request), queue capacity 1. The third concurrent
+        // request must bounce with `overloaded`.
+        let s = Arc::new(server(ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            pool_capacity: 2,
+            default_timeout_ms: 120_000,
+        }));
+        let clients: Vec<_> = (0..3)
+            .map(|i| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    s.handle_line(&format!(r#"{{"id": {i}, "kernel": "heat-3d"}}"#))
+                })
+            })
+            .collect();
+        let responses: Vec<String> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        let codes: Vec<Option<String>> = responses
+            .iter()
+            .map(|r| {
+                json::parse(r)
+                    .unwrap()
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(|c| c.as_str())
+                    .map(str::to_string)
+            })
+            .collect();
+        let overloaded = codes
+            .iter()
+            .filter(|c| c.as_deref() == Some(ERR_OVERLOADED))
+            .count();
+        let ok = codes.iter().filter(|c| c.is_none()).count();
+        assert!(
+            overloaded >= 1,
+            "at least one request must bounce: {codes:?}"
+        );
+        assert!(
+            ok >= 1,
+            "the queue still serves what it admitted: {codes:?}"
+        );
+        s.shutdown();
+    }
+}

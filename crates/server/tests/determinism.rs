@@ -1,0 +1,236 @@
+//! Concurrent-serving determinism: the daemon must be a *transparent*
+//! wrapper around the analysis. Hammering it from several client threads —
+//! with warm session reuse, queueing and worker scheduling in play — must
+//! produce byte-identical bounds to one-at-a-time serial analyses, and the
+//! per-request engine statistics must never leak between sessions.
+
+use iolb_server::json::{self, Json};
+use iolb_server::{Server, ServerConfig};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn response_q_low(response: &str) -> String {
+    let doc = json::parse(response).expect("response parses");
+    assert_eq!(
+        doc.get("status").and_then(|s| s.as_str()),
+        Some("ok"),
+        "request failed: {response}"
+    );
+    doc.get("report")
+        .and_then(|r| r.get("q_low"))
+        .and_then(|q| q.as_str())
+        .expect("q_low present")
+        .to_string()
+}
+
+fn response_counters(response: &str) -> Vec<(String, i128)> {
+    let doc = json::parse(response).expect("response parses");
+    let stats = doc
+        .get("report")
+        .and_then(|r| r.get("engine_stats"))
+        .expect("engine_stats present");
+    stats
+        .as_obj()
+        .expect("object")
+        .iter()
+        .filter_map(|(k, v)| v.as_i128().map(|v| (k.clone(), v)))
+        .collect()
+}
+
+/// The serial reference: each kernel analysed alone, serially, in a fresh
+/// session — exactly what `iolb analyze --kernel <name> --serial` does.
+fn serial_reference() -> BTreeMap<String, (String, Vec<(String, i128)>)> {
+    iolb_polybench::all_kernels()
+        .into_iter()
+        .map(|kernel| {
+            let outcome = iolb_core::Analyzer::new()
+                .parallel(false)
+                .analyze(&kernel)
+                .expect("kernel prepares");
+            // Every integer field of the response's engine_stats object, in
+            // emission order: the seven operation counters plus the
+            // resident cache-entry count (deterministic for a cold serial
+            // run, so it participates in the leakage check too).
+            let mut counters: Vec<(String, i128)> = outcome
+                .stats
+                .as_pairs()
+                .into_iter()
+                .map(|(k, v)| (k.to_lowercase(), v as i128))
+                .collect();
+            counters.push(("cache_entries".to_string(), outcome.cache_entries as i128));
+            (
+                kernel.name.to_string(),
+                (outcome.analysis().q_low.to_string(), counters),
+            )
+        })
+        .collect()
+}
+
+/// The full 30-kernel suite from 4 client threads against one daemon:
+/// every response's `q_low` must be byte-identical to the serial
+/// reference, and with session pooling disabled every response's engine
+/// counters must be *exactly* the serial reference's — any cross-request
+/// leakage (shared cache hits, foreign counter bumps) would show up as a
+/// mismatch.
+#[test]
+fn four_clients_full_suite_matches_serial_reference() {
+    let reference = serial_reference();
+    let kernels: Vec<String> = reference.keys().cloned().collect();
+    assert_eq!(kernels.len(), 30, "the full PolyBench suite");
+
+    // Phase 1 — warm serving: pooled sessions on (the production
+    // configuration). Bounds must not depend on which requests warmed
+    // which session.
+    let server = Arc::new(Server::start(ServerConfig {
+        workers: 4,
+        queue_capacity: 256,
+        pool_capacity: 4,
+        default_timeout_ms: 600_000,
+    }));
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let server = server.clone();
+            let kernels = kernels.clone();
+            std::thread::spawn(move || {
+                let mut results: Vec<(String, String)> = Vec::new();
+                for i in 0..kernels.len() {
+                    // Each client walks the suite from a different offset so
+                    // the four in-flight requests are (almost) always for
+                    // different kernels — maximum cross-request variety.
+                    let kernel = &kernels[(i + c * 7) % kernels.len()];
+                    let response = server
+                        .handle_line(&format!(r#"{{"id": "c{c}-{i}", "kernel": "{kernel}"}}"#));
+                    results.push((kernel.clone(), response_q_low(&response)));
+                }
+                results
+            })
+        })
+        .collect();
+    for client in clients {
+        for (kernel, q_low) in client.join().expect("client thread") {
+            assert_eq!(
+                q_low, reference[&kernel].0,
+                "warm concurrent serving changed {kernel}'s bound"
+            );
+        }
+    }
+    server.shutdown();
+
+    // Phase 2 — leakage check: pooling off, so every request runs in a
+    // fresh session and its engine-stats delta must equal the serial
+    // reference exactly. A handful of kernels from 4 threads is enough to
+    // catch any shared state.
+    let cold = Arc::new(Server::start(ServerConfig {
+        workers: 4,
+        queue_capacity: 256,
+        pool_capacity: 0,
+        default_timeout_ms: 600_000,
+    }));
+    let subset = ["gemm", "atax", "bicg", "mvt", "gesummv", "trmm"];
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let cold = cold.clone();
+            std::thread::spawn(move || {
+                subset
+                    .iter()
+                    .map(|kernel| {
+                        let response =
+                            cold.handle_line(&format!(r#"{{"id": {c}, "kernel": "{kernel}"}}"#));
+                        (kernel.to_string(), response)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for client in clients {
+        for (kernel, response) in client.join().expect("client thread") {
+            assert_eq!(
+                response_q_low(&response),
+                reference[&kernel].0,
+                "cold concurrent serving changed {kernel}'s bound"
+            );
+            assert_eq!(
+                response_counters(&response),
+                reference[&kernel].1,
+                "cross-session counter leakage on {kernel}"
+            );
+        }
+    }
+    cold.shutdown();
+}
+
+/// End-to-end over a real socket: concurrent TCP clients, pipelined
+/// requests per connection, `stats`, and a clean shutdown drain.
+#[test]
+fn tcp_round_trip_and_clean_shutdown() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    let server = Arc::new(Server::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        pool_capacity: 2,
+        default_timeout_ms: 600_000,
+    }));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let accept = {
+        let server = server.clone();
+        std::thread::spawn(move || server.serve_listener(listener))
+    };
+
+    let request_line = |stream: &mut TcpStream, line: &str| -> Json {
+        writeln!(stream, "{line}").expect("write");
+        stream.flush().expect("flush");
+        let mut response = String::new();
+        BufReader::new(stream.try_clone().expect("clone"))
+            .read_line(&mut response)
+            .expect("read");
+        json::parse(response.trim_end()).expect("valid JSON response")
+    };
+
+    // Two concurrent connections, two pipelined requests each.
+    let clients: Vec<_> = (0..2)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                for (i, kernel) in ["gemm", "atax"].iter().enumerate() {
+                    let doc = request_line(
+                        &mut stream,
+                        &format!(r#"{{"id": "t{c}-{i}", "kernel": "{kernel}"}}"#),
+                    );
+                    assert_eq!(doc.get("status").and_then(|s| s.as_str()), Some("ok"));
+                    assert_eq!(
+                        doc.get("report")
+                            .and_then(|r| r.get("schema_version"))
+                            .and_then(|v| v.as_i128()),
+                        Some(1)
+                    );
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("tcp client");
+    }
+
+    // Control plane over the same transport.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let stats = request_line(&mut stream, r#"{"op": "stats"}"#);
+    assert_eq!(
+        stats
+            .get("server_stats")
+            .and_then(|s| s.get("requests_completed"))
+            .and_then(|v| v.as_i128()),
+        Some(4)
+    );
+    let ack = request_line(&mut stream, r#"{"id": "bye", "op": "shutdown"}"#);
+    assert_eq!(ack.get("draining"), Some(&Json::Bool(true)));
+
+    // The accept loop observes the drain and serve_listener returns.
+    accept
+        .join()
+        .expect("accept thread")
+        .expect("serve_listener exits cleanly");
+    assert!(server.is_draining());
+}

@@ -57,7 +57,7 @@ fn main() {
         "  engine: {} feasibility checks, {} eliminations, {:.0}% cache hits",
         outcome.stats.FEASIBILITY_CHECKS,
         outcome.stats.FM_ELIMINATIONS,
-        outcome.stats.feasibility_hit_rate() * 100.0
+        outcome.stats.feasibility_hit_rate().unwrap_or(0.0) * 100.0
     );
 
     // Derive the OI upper bound and compare it with the machine balance.
