@@ -33,6 +33,26 @@ pub struct ServeThroughput {
     pub p50_ms: f64,
     /// 99th-percentile client-observed latency in ms.
     pub p99_ms: f64,
+    /// Requests whose client timed out (`timeout` errors).
+    pub timeouts: u64,
+    /// Analyses stopped mid-flight by cooperative cancellation.
+    pub cancelled_in_flight: u64,
+    /// Successful responses marked `degraded` by a tripped work budget.
+    pub degraded: u64,
+}
+
+/// Reads one integer counter out of a `{"op": "stats"}` response line.
+fn stats_counter(stats_line: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let Some(at) = stats_line.find(&needle) else {
+        return 0;
+    };
+    stats_line[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
 }
 
 /// Nearest-rank percentile of an ascending-sorted latency sample.
@@ -97,6 +117,12 @@ pub fn run(clients: usize) -> ServeThroughput {
         warm += client_warm;
     }
     let seconds = start.elapsed().as_secs_f64();
+    // Robustness counters for the perf record: a healthy full-suite load
+    // run reports zeroes; non-zero values flag budget/cancellation churn.
+    let stats_line = server.handle_line(r#"{"op": "stats"}"#);
+    let timeouts = stats_counter(&stats_line, "timeouts");
+    let cancelled_in_flight = stats_counter(&stats_line, "cancelled_in_flight");
+    let degraded = stats_counter(&stats_line, "degraded");
     server.shutdown();
 
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -115,6 +141,9 @@ pub fn run(clients: usize) -> ServeThroughput {
         },
         p50_ms: percentile(&latencies_ms, 0.50),
         p99_ms: percentile(&latencies_ms, 0.99),
+        timeouts,
+        cancelled_in_flight,
+        degraded,
     }
 }
 
@@ -126,7 +155,9 @@ impl ServeThroughput {
             "{{\n    \"clients\": {},\n    \"requests\": {},\n    \"ok\": {},\n    \
              \"errors\": {},\n    \"warm_responses\": {},\n    \
              \"wall_clock_seconds\": {:.6},\n    \"requests_per_second\": {:.3},\n    \
-             \"p50_latency_ms\": {:.3},\n    \"p99_latency_ms\": {:.3}\n  }}",
+             \"p50_latency_ms\": {:.3},\n    \"p99_latency_ms\": {:.3},\n    \
+             \"timeouts\": {},\n    \"cancelled_in_flight\": {},\n    \
+             \"degraded\": {}\n  }}",
             self.clients,
             self.requests,
             self.ok,
@@ -136,6 +167,9 @@ impl ServeThroughput {
             self.req_per_sec,
             self.p50_ms,
             self.p99_ms,
+            self.timeouts,
+            self.cancelled_in_flight,
+            self.degraded,
         )
     }
 }
@@ -166,11 +200,26 @@ mod tests {
             req_per_sec: 12.0,
             p50_ms: 80.0,
             p99_ms: 400.0,
+            timeouts: 1,
+            cancelled_in_flight: 1,
+            degraded: 2,
         };
         let json = row.to_json_object();
         assert!(json.contains("\"requests_per_second\": 12.000"));
         assert!(json.contains("\"p99_latency_ms\": 400.000"));
+        assert!(json.contains("\"timeouts\": 1"));
+        assert!(json.contains("\"cancelled_in_flight\": 1"));
+        assert!(json.contains("\"degraded\": 2"));
         let open = json.matches('{').count();
         assert_eq!(open, json.matches('}').count());
+    }
+
+    #[test]
+    fn stats_counters_parse_out_of_a_stats_line() {
+        let line = r#"{"id":null,"status":"ok","server_stats":{"timeouts":3,"cancelled_in_flight":2,"degraded":10}}"#;
+        assert_eq!(stats_counter(line, "timeouts"), 3);
+        assert_eq!(stats_counter(line, "cancelled_in_flight"), 2);
+        assert_eq!(stats_counter(line, "degraded"), 10);
+        assert_eq!(stats_counter(line, "no_such_field"), 0);
     }
 }

@@ -21,6 +21,7 @@
 use iolb_core::report::json_escape;
 use iolb_core::Analyzer;
 use iolb_frontend::IolbFile;
+use iolb_poly::Budget;
 
 /// A CLI failure: a message for stderr (the process exits non-zero).
 #[derive(Debug)]
@@ -65,6 +66,11 @@ ANALYZE OPTIONS:
     --depth D            maximum loop-parametrization depth (default: 0;
                          built-in kernels use their tuned depth)
     --serial             disable the parallel driver
+    --deadline-ms MS     wall-clock budget; past it the run keeps the best
+                         already-proven bound (reported as degraded) or
+                         errors when no valid bound exists yet
+    --max-fm-steps N     cap on Fourier-Motzkin variable eliminations
+                         (same degradation semantics as --deadline-ms)
 
 SERVE OPTIONS:
     --addr HOST:PORT     listen for line-delimited JSON over TCP (port 0
@@ -98,6 +104,10 @@ struct AnalyzeArgs {
     cache_cap: Option<usize>,
     depth: Option<usize>,
     serial: bool,
+    /// Wall-clock budget for the run (`--deadline-ms`).
+    deadline_ms: Option<u64>,
+    /// Fourier–Motzkin work budget (`--max-fm-steps`).
+    max_fm_steps: Option<u64>,
 }
 
 enum Target {
@@ -131,6 +141,8 @@ fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, CliError> {
     let mut cache_cap = None;
     let mut depth = None;
     let mut serial = false;
+    let mut deadline_ms = None;
+    let mut max_fm_steps = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -184,6 +196,30 @@ fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, CliError> {
                         .map_err(|_| err(format!("malformed --depth `{v}`")))?,
                 );
             }
+            "--deadline-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("--deadline-ms requires a millisecond count"))?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| err(format!("malformed --deadline-ms `{v}`")))?;
+                if ms == 0 {
+                    return Err(err("--deadline-ms must be positive"));
+                }
+                deadline_ms = Some(ms);
+            }
+            "--max-fm-steps" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("--max-fm-steps requires a step count"))?;
+                let steps: u64 = v
+                    .parse()
+                    .map_err(|_| err(format!("malformed --max-fm-steps `{v}`")))?;
+                if steps == 0 {
+                    return Err(err("--max-fm-steps must be positive"));
+                }
+                max_fm_steps = Some(steps);
+            }
             other if other.starts_with('-') => {
                 return Err(err(format!("unknown option `{other}`\n\n{USAGE}")));
             }
@@ -204,6 +240,8 @@ fn parse_analyze_args(args: &[String]) -> Result<AnalyzeArgs, CliError> {
         cache_cap,
         depth,
         serial,
+        deadline_ms,
+        max_fm_steps,
     })
 }
 
@@ -230,6 +268,12 @@ fn analyzer_for(args: &AnalyzeArgs) -> Analyzer {
     for (name, value) in &args.params {
         analyzer = analyzer.param(name.clone(), *value);
     }
+    if let Some(steps) = args.max_fm_steps {
+        analyzer = analyzer.budget(Budget::none().max_fm_steps(steps));
+    }
+    if let Some(ms) = args.deadline_ms {
+        analyzer = analyzer.deadline(std::time::Duration::from_millis(ms));
+    }
     analyzer
 }
 
@@ -251,7 +295,18 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     if args.json {
         Ok(outcome.to_json())
     } else {
-        Ok(outcome.report.to_string())
+        let mut text = outcome.report.to_string();
+        if let Some(d) = &outcome.report.analysis.degradation {
+            text.push_str(&format!(
+                "\nNOTE: degraded result — the \"{}\" budget tripped after {}/{} candidate \
+                 jobs. The bound above is valid but may be weaker than the full analysis; \
+                 raise the budget to tighten it.\n",
+                d.interrupt.code(),
+                d.sweep_completed,
+                d.sweep_total,
+            ));
+        }
+        Ok(text)
     }
 }
 
@@ -501,6 +556,51 @@ mod tests {
         ])
         .unwrap_err();
         assert!(e.0.contains("unexpected argument"), "{}", e.0);
+    }
+
+    #[test]
+    fn budget_flags_trip_or_degrade() {
+        // An impossible FM budget interrupts before any valid bound: the
+        // CLI surfaces the typed interrupt as its error message.
+        let e = run(&[
+            "analyze".into(),
+            "--kernel".into(),
+            "gemm".into(),
+            "--max-fm-steps".into(),
+            "1".into(),
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("budget exhausted"), "{}", e.0);
+        // A generous budget changes nothing: same text output, no note.
+        let plain = run(&["analyze".into(), "--kernel".into(), "gemm".into()]).unwrap();
+        let budgeted = run(&[
+            "analyze".into(),
+            "--kernel".into(),
+            "gemm".into(),
+            "--deadline-ms".into(),
+            "3600000".into(),
+            "--max-fm-steps".into(),
+            u64::MAX.to_string(),
+        ])
+        .unwrap();
+        assert_eq!(plain, budgeted);
+        assert!(!budgeted.contains("degraded"));
+        // Malformed values are rejected up front.
+        for (flag, value, want) in [
+            ("--deadline-ms", "soon", "malformed"),
+            ("--deadline-ms", "0", "must be positive"),
+            ("--max-fm-steps", "0", "must be positive"),
+        ] {
+            let e = run(&[
+                "analyze".into(),
+                "--kernel".into(),
+                "gemm".into(),
+                flag.into(),
+                value.into(),
+            ])
+            .unwrap_err();
+            assert!(e.0.contains(want), "{flag} {value}: {}", e.0);
+        }
     }
 
     #[test]

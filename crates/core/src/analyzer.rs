@@ -40,12 +40,41 @@
 //! ```
 
 use crate::bound::Instance;
-use crate::driver::{analyze, Analysis, AnalysisOptions};
+use crate::driver::{analyze_interruptible, Analysis, AnalysisOptions};
 use crate::report::Report;
 use crate::workload::{PreparedWorkload, Workload, WorkloadError};
-use iolb_poly::{stats::Snapshot, EngineConfig, EngineCtx};
+use iolb_poly::{stats::Snapshot, Budget, EngineConfig, EngineCtx, EngineInterrupt};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Why [`Analyzer::analyze`] failed to produce any valid bound.
+#[derive(Clone, Debug)]
+pub enum AnalyzeError {
+    /// The workload could not be prepared (file I/O, front-end, lowering).
+    Workload(WorkloadError),
+    /// The session's [`Budget`] tripped before any valid bound was proven
+    /// (during preparation or the compulsory-miss term). Interrupts *after*
+    /// that point degrade the outcome instead — see
+    /// [`Analysis::degradation`].
+    Interrupted(EngineInterrupt),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::Workload(e) => e.fmt(f),
+            AnalyzeError::Interrupted(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+impl From<WorkloadError> for AnalyzeError {
+    fn from(e: WorkloadError) -> Self {
+        AnalyzeError::Workload(e)
+    }
+}
 
 /// Builder for one analysis request. See the [module docs](self).
 #[derive(Clone, Default)]
@@ -60,6 +89,8 @@ pub struct Analyzer {
     param_values: Vec<(String, i128)>,
     assumptions: Vec<(String, i128)>,
     options_override: Option<AnalysisOptions>,
+    deadline: Option<Duration>,
+    budget: Option<Budget>,
 }
 
 impl Analyzer {
@@ -139,6 +170,26 @@ impl Analyzer {
         self
     }
 
+    /// Wall-clock budget for the whole request (preparation + analysis),
+    /// measured from the moment [`Analyzer::analyze`] is called. A tripped
+    /// deadline degrades the outcome (see [`Analysis::degradation`]) or, if
+    /// no valid bound exists yet, fails with
+    /// [`AnalyzeError::Interrupted`]. Composes with [`Analyzer::budget`]
+    /// (the deadline set here wins).
+    pub fn deadline(mut self, within: Duration) -> Self {
+        self.deadline = Some(within);
+        self
+    }
+
+    /// Full per-request [`Budget`] (deadline, FM-step / constraint /
+    /// cache-entry limits, external [`CancelToken`](iolb_poly::CancelToken)),
+    /// installed on the session for the duration of the request and cleared
+    /// afterwards.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     /// Generic defaults for a user program over `params`: every parameter
     /// is assumed `≥ 8` and the heuristic instance sets it to 2000 (the
     /// order of magnitude of the PolyBench LARGE datasets, so non-trivial
@@ -165,12 +216,16 @@ impl Analyzer {
     ///
     /// # Errors
     ///
-    /// Returns the [`WorkloadError`] from [`Workload::prepare`] (file I/O,
-    /// front-end, lowering, …); the analysis itself is total.
+    /// Returns [`AnalyzeError::Workload`] when [`Workload::prepare`] fails
+    /// (file I/O, front-end, lowering, …), and [`AnalyzeError::Interrupted`]
+    /// when a configured [budget](Analyzer::budget) /
+    /// [deadline](Analyzer::deadline) trips before any valid bound exists.
+    /// A budget tripping mid-analysis is **not** an error: the outcome is
+    /// returned with [`Analysis::degradation`] set.
     pub fn analyze<W: Workload + ?Sized>(
         &self,
         workload: &W,
-    ) -> Result<AnalysisOutcome, WorkloadError> {
+    ) -> Result<AnalysisOutcome, AnalyzeError> {
         let engine = match &self.engine {
             Some(engine) => {
                 if let Some(enabled) = self.cache_enabled {
@@ -186,12 +241,24 @@ impl Analyzer {
                 ..EngineConfig::default()
             }),
         };
-        engine.clone().scope(|| {
+        // The request's budget lives on the session only while this call
+        // runs (the relative deadline becomes absolute here, at admission).
+        let mut budget = self.budget.clone().unwrap_or_default();
+        if let Some(within) = self.deadline {
+            budget = budget.deadline_in(within);
+        }
+        engine.install_budget(budget);
+        let result = engine.clone().scope(|| {
             let stats_before = engine.stats();
-            let prepared = workload.prepare()?;
+            // Preparation runs engine queries too (parsing, DFG lowering),
+            // so it can trip the budget — before any bound exists, hence
+            // the hard-error path.
+            let prepared = EngineInterrupt::catch(|| workload.prepare())
+                .map_err(AnalyzeError::Interrupted)??;
             let options = self.resolve_options(&prepared);
             let start = Instant::now();
-            let analysis = analyze(&prepared.dfg, &options);
+            let analysis = analyze_interruptible(&prepared.dfg, &options)
+                .map_err(AnalyzeError::Interrupted)?;
             let elapsed = start.elapsed();
             let report = Report::new(&prepared.name, analysis, prepared.ops);
             Ok(AnalysisOutcome {
@@ -201,7 +268,9 @@ impl Analyzer {
                 elapsed,
                 engine: engine.clone(),
             })
-        })
+        });
+        engine.clear_budget();
+        result
     }
 
     /// Analyses a DFG built **inside** the analysis session by `build` —
@@ -210,7 +279,7 @@ impl Analyzer {
     pub fn analyze_with(
         &self,
         build: impl FnOnce() -> iolb_dfg::Dfg,
-    ) -> Result<AnalysisOutcome, WorkloadError> {
+    ) -> Result<AnalysisOutcome, AnalyzeError> {
         struct Builder<F>(std::cell::RefCell<Option<F>>);
         impl<F: FnOnce() -> iolb_dfg::Dfg> Workload for Builder<F> {
             fn prepare(&self) -> Result<PreparedWorkload, WorkloadError> {
@@ -330,7 +399,21 @@ impl AnalysisOutcome {
             "    \"wall_clock_seconds\": {:.6}\n",
             self.elapsed.as_secs_f64()
         ));
-        out.push_str("  }\n}\n");
+        out.push_str("  }");
+        // Degradation fields are only emitted when a budget tripped, so
+        // un-budgeted reports stay byte-identical to earlier versions.
+        if let Some(degradation) = &self.analysis().degradation {
+            out.push_str(",\n  \"degraded\": true,\n  \"budget\": {\n");
+            out.push_str(&format!(
+                "    \"tripped\": \"{}\",\n",
+                degradation.interrupt.code()
+            ));
+            out.push_str(&format!(
+                "    \"sweep_completed\": {},\n    \"sweep_total\": {}\n  }}",
+                degradation.sweep_completed, degradation.sweep_total
+            ));
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -419,6 +502,76 @@ mod tests {
         assert!(json.contains("\"feasibility_hit_rate\": null"), "{json}");
         assert!(json.contains("\"count_hit_rate\": null"), "{json}");
         assert!(!json.contains("NaN"), "{json}");
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_interrupt_error() {
+        let result = Analyzer::new()
+            .parallel(false)
+            .deadline(Duration::ZERO)
+            .analyze_with(streaming_dfg);
+        match result {
+            Err(AnalyzeError::Interrupted(interrupt)) => {
+                assert_eq!(interrupt.code(), "deadline")
+            }
+            Err(other) => panic!("expected a deadline interrupt, got {other:?}"),
+            Ok(_) => panic!("expected a deadline interrupt, got a result"),
+        }
+    }
+
+    #[test]
+    fn generous_budget_never_trips_and_changes_nothing() {
+        let plain = Analyzer::new()
+            .parallel(false)
+            .analyze_with(streaming_dfg)
+            .unwrap();
+        let budgeted = Analyzer::new()
+            .parallel(false)
+            .deadline(Duration::from_secs(3600))
+            .budget(
+                iolb_poly::Budget::none()
+                    .max_fm_steps(u64::MAX)
+                    .cancel_token(iolb_poly::CancelToken::new()),
+            )
+            .analyze_with(streaming_dfg)
+            .unwrap();
+        assert_eq!(
+            plain.analysis().q_low.to_string(),
+            budgeted.analysis().q_low.to_string(),
+            "a budget that never trips must not change the result"
+        );
+        assert!(budgeted.analysis().degradation.is_none());
+        assert!(
+            !budgeted.engine().budget_active(),
+            "the request budget is cleared from the session afterwards"
+        );
+        assert!(!budgeted.to_json().contains("\"degraded\""));
+    }
+
+    #[test]
+    fn degraded_outcomes_serialise_budget_fields() {
+        let outcome = Analyzer::new()
+            .parallel(false)
+            .analyze_with(streaming_dfg)
+            .unwrap();
+        let mut report = outcome.report.clone();
+        report.analysis.degradation = Some(crate::driver::Degradation {
+            interrupt: EngineInterrupt::Deadline,
+            sweep_completed: 1,
+            sweep_total: 3,
+        });
+        let degraded = AnalysisOutcome {
+            report,
+            stats: outcome.stats,
+            cache_entries: outcome.cache_entries,
+            elapsed: outcome.elapsed,
+            engine: outcome.engine.clone(),
+        };
+        let json = degraded.to_json();
+        assert!(json.contains("\"degraded\": true"), "{json}");
+        assert!(json.contains("\"tripped\": \"deadline\""), "{json}");
+        assert!(json.contains("\"sweep_completed\": 1"), "{json}");
+        assert!(json.contains("\"sweep_total\": 3"), "{json}");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::partition::{partition_bound, PartitionInput};
 use crate::wavefront::{wavefront_bound, WavefrontInput};
 use iolb_dfg::{genpaths, Dfg, DfgPath, GenPathsOptions};
 use iolb_math::Lattice;
-use iolb_poly::{count, Context, UnionSet};
+use iolb_poly::{count, Context, EngineInterrupt, UnionSet};
 use iolb_symbol::Expr;
 
 /// Configuration of the analysis.
@@ -91,6 +91,20 @@ impl AnalysisOptions {
     }
 }
 
+/// How far an interrupted analysis got before its budget tripped (see
+/// [`analyze_interruptible`]): the sweep progress plus the limit that fired.
+/// A degraded analysis still carries a *valid* (just possibly weaker) lower
+/// bound — every candidate it kept was fully proven before the interrupt.
+#[derive(Clone, Debug)]
+pub struct Degradation {
+    /// The budget limit that tripped first.
+    pub interrupt: EngineInterrupt,
+    /// Candidate-derivation jobs that ran to completion.
+    pub sweep_completed: usize,
+    /// Total candidate-derivation jobs in the sweep.
+    pub sweep_total: usize,
+}
+
 /// The result of analysing a program.
 #[derive(Clone, Debug)]
 pub struct Analysis {
@@ -106,6 +120,10 @@ pub struct Analysis {
     pub total_ops: Option<iolb_symbol::Poly>,
     /// Name of the cache-capacity parameter.
     pub cache_param: String,
+    /// `Some` when a budget interrupted the candidate sweep and `q_low` is
+    /// the best bound proven *before* the interrupt (still valid, possibly
+    /// weaker than an unbudgeted run's). `None` for a complete analysis.
+    pub degradation: Option<Degradation>,
 }
 
 impl Analysis {
@@ -121,7 +139,39 @@ impl Analysis {
 }
 
 /// Runs the full IOLB analysis on a DFG (Algorithm 6).
+///
+/// Equivalent to [`analyze_interruptible`] for unbudgeted sessions. When the
+/// ambient session carries a budget and it trips before any valid bound
+/// exists, the interrupt is re-raised (callers that want the typed error
+/// should use [`analyze_interruptible`]).
 pub fn analyze(dfg: &Dfg, options: &AnalysisOptions) -> Analysis {
+    match analyze_interruptible(dfg, options) {
+        Ok(analysis) => analysis,
+        Err(interrupt) => interrupt.raise(),
+    }
+}
+
+/// Runs the full IOLB analysis, degrading gracefully when the ambient
+/// session's [budget](iolb_poly::Budget) trips.
+///
+/// The compulsory-miss term `input_size(G)` — itself a valid lower bound —
+/// is computed **first**; interruption there is the hard-error case (no
+/// valid bound exists yet). Once it is in hand, every later interrupt only
+/// *degrades* the result: candidate-derivation jobs that trip are dropped
+/// (each job's bounds are independent), and an interrupt during the
+/// Lemma-4.2 combination falls back to the best single proven candidate by
+/// pure arithmetic. The returned [`Analysis::degradation`] records the first
+/// interrupt and the sweep progress.
+pub fn analyze_interruptible(
+    dfg: &Dfg,
+    options: &AnalysisOptions,
+) -> Result<Analysis, EngineInterrupt> {
+    let ctx = &options.ctx;
+
+    // The compulsory-miss term doubles as the minimal valid bound every
+    // degraded outcome can fall back to, so it goes first.
+    let (input, total_ops) = EngineInterrupt::catch(|| (input_size(dfg, ctx), dfg.total_ops(ctx)))?;
+
     let max_depth = dfg.statements().map(|s| s.domain.dim()).max().unwrap_or(0);
 
     // Candidate derivation is independent per (parametrization depth,
@@ -129,6 +179,9 @@ pub fn analyze(dfg: &Dfg, options: &AnalysisOptions) -> Analysis {
     // collection — so the jobs can fan out over threads. The job list and the
     // per-job candidate order are deterministic, and results are flattened in
     // job order, so parallel and serial runs produce identical candidates.
+    // Each job catches its own interrupt *inside* the closure: thread-scope
+    // panic propagation would lose the typed payload, and an interrupted job
+    // must not discard its siblings' finished work.
     let mut jobs: Vec<(usize, String)> = Vec::new();
     for depth in 0..=options
         .max_parametrization_depth
@@ -141,36 +194,70 @@ pub fn analyze(dfg: &Dfg, options: &AnalysisOptions) -> Analysis {
             jobs.push((depth, stmt.name.clone()));
         }
     }
-    let per_job: Vec<Vec<LowerBound>> = if options.parallel && jobs.len() > 1 {
+    type JobResult = Result<Vec<LowerBound>, EngineInterrupt>;
+    let per_job: Vec<JobResult> = if options.parallel && jobs.len() > 1 {
         crate::par::parallel_map(&jobs, |(depth, name)| {
-            derive_candidates(dfg, options, *depth, name)
+            EngineInterrupt::catch(|| derive_candidates(dfg, options, *depth, name))
         })
     } else {
         jobs.iter()
-            .map(|(depth, name)| derive_candidates(dfg, options, *depth, name))
+            .map(|(depth, name)| {
+                EngineInterrupt::catch(|| derive_candidates(dfg, options, *depth, name))
+            })
             .collect()
     };
-    let candidates: Vec<LowerBound> = per_job.into_iter().flatten().collect();
-    let ctx = &options.ctx;
-
-    // --- Combine the candidates (Algorithm 1). ---
-    let mut best_expr = Expr::zero();
-    let mut best_accepted: Vec<usize> = Vec::new();
-    let mut best_value = f64::NEG_INFINITY;
-    for inst in instances_or_default(options) {
-        let (expr, accepted) = combine_sub_bounds(&candidates, &inst);
-        let value = expr.eval_f64(&inst.as_f64_env()).unwrap_or(0.0);
-        if value > best_value {
-            best_value = value;
-            best_expr = expr;
-            best_accepted = accepted;
+    let sweep_total = per_job.len();
+    let mut sweep_completed = 0;
+    let mut first_interrupt: Option<EngineInterrupt> = None;
+    let mut candidates: Vec<LowerBound> = Vec::new();
+    for job in per_job {
+        match job {
+            Ok(bounds) => {
+                sweep_completed += 1;
+                candidates.extend(bounds);
+            }
+            Err(interrupt) => {
+                if first_interrupt.is_none() {
+                    first_interrupt = Some(interrupt);
+                }
+            }
         }
     }
 
-    let input = input_size(dfg, ctx);
+    // --- Combine the candidates (Algorithm 1). ---
+    // The combination itself issues engine queries (`may_spill`
+    // intersections), so under an already-tripped budget it is caught too
+    // and replaced by the best single proven candidate — any one candidate
+    // plus the input term is still a valid bound (Lemma 4.2 with a
+    // singleton selection).
+    let combination = EngineInterrupt::catch(|| {
+        let mut best_expr = Expr::zero();
+        let mut best_accepted: Vec<usize> = Vec::new();
+        let mut best_value = f64::NEG_INFINITY;
+        for inst in instances_or_default(options) {
+            let (expr, accepted) = combine_sub_bounds(&candidates, &inst);
+            let value = expr.eval_f64(&inst.as_f64_env()).unwrap_or(0.0);
+            if value > best_value {
+                best_value = value;
+                best_expr = expr;
+                best_accepted = accepted;
+            }
+        }
+        (best_expr, best_accepted)
+    });
+    let (best_expr, best_accepted) = match combination {
+        Ok(best) => best,
+        Err(interrupt) => {
+            if first_interrupt.is_none() {
+                first_interrupt = Some(interrupt);
+            }
+            best_single_candidate(&candidates, &instances_or_default(options))
+        }
+    };
+
     let q_low = Expr::from_poly(input.clone()) + best_expr.max_with_zero();
 
-    Analysis {
+    Ok(Analysis {
         q_low,
         input_size: input,
         accepted: best_accepted
@@ -178,8 +265,35 @@ pub fn analyze(dfg: &Dfg, options: &AnalysisOptions) -> Analysis {
             .map(|&i| candidates[i].clone())
             .collect(),
         candidates,
-        total_ops: dfg.total_ops(ctx),
+        total_ops,
         cache_param: options.cache_param.clone(),
+        degradation: first_interrupt.map(|interrupt| Degradation {
+            interrupt,
+            sweep_completed,
+            sweep_total,
+        }),
+    })
+}
+
+/// Pure-arithmetic fallback for an interrupted combination: the single
+/// non-trivial candidate with the highest instance value. Needs no engine
+/// queries, so it cannot trip the budget again.
+fn best_single_candidate(candidates: &[LowerBound], instances: &[Instance]) -> (Expr, Vec<usize>) {
+    let mut best: Option<(f64, usize)> = None;
+    for (i, candidate) in candidates.iter().enumerate() {
+        if candidate.is_trivial() {
+            continue;
+        }
+        for inst in instances {
+            let value = candidate.evaluate(inst);
+            if best.is_none_or(|(best_value, _)| value > best_value) {
+                best = Some((value, i));
+            }
+        }
+    }
+    match best {
+        Some((_, i)) => (candidates[i].expr.clone().max_with_zero(), vec![i]),
+        None => (Expr::zero(), Vec::new()),
     }
 }
 
@@ -465,6 +579,77 @@ mod tests {
         assert_eq!(oi.to_string(), "S^(1/2)");
         // The bound includes the compulsory misses.
         assert_eq!(analysis.input_size.to_string(), "Ni*Nj + Ni*Nk + Nj*Nk");
+    }
+
+    #[test]
+    fn budget_tripping_before_any_bound_is_a_hard_error() {
+        use iolb_poly::{Budget, EngineCtx, EngineInterrupt};
+
+        let engine = EngineCtx::new();
+        // One FM step cannot even finish the compulsory-miss term, so no
+        // valid bound exists and the interrupt surfaces as an error. The
+        // DFG and options are built inside the scope (session binding).
+        engine.install_budget(Budget::none().max_fm_steps(1));
+        let result = engine.scope(|| {
+            let g = gemm();
+            let mut options =
+                AnalysisOptions::with_default_instance(&["Ni", "Nj", "Nk"], 512, 1024);
+            options.max_parametrization_depth = 0;
+            options.parallel = false;
+            analyze_interruptible(&g, &options)
+        });
+        assert_eq!(result.unwrap_err(), EngineInterrupt::FmSteps { limit: 1 });
+    }
+
+    #[test]
+    fn budget_tripping_mid_sweep_degrades_but_keeps_the_input_term() {
+        use iolb_poly::{Budget, EngineCtx};
+
+        fn serial_gemm_options() -> AnalysisOptions {
+            let mut options =
+                AnalysisOptions::with_default_instance(&["Ni", "Nj", "Nk"], 512, 1024);
+            options.max_parametrization_depth = 0;
+            options.parallel = false;
+            options
+        }
+
+        // Measure (in throwaway cold sessions) how many FM steps the
+        // compulsory-miss term alone needs, and how many the full analysis
+        // needs; a limit between the two trips mid-sweep deterministically.
+        // Every session builds its own DFG and options (session binding).
+        let probe = EngineCtx::new();
+        let input_steps = probe.scope(|| {
+            let _ = input_size(&gemm(), &serial_gemm_options().ctx);
+            probe.stats().FM_ELIMINATIONS
+        });
+        let full = EngineCtx::new();
+        let (full_steps, full_input, full_degradation) = full.scope(|| {
+            let analysis = analyze(&gemm(), &serial_gemm_options());
+            (
+                full.stats().FM_ELIMINATIONS,
+                analysis.input_size.to_string(),
+                analysis.degradation,
+            )
+        });
+        assert!(
+            full_steps > input_steps + 1,
+            "gemm's candidate sweep must dominate the step count"
+        );
+        assert!(full_degradation.is_none());
+        let limit = input_steps + (full_steps - input_steps) / 2;
+
+        let engine = EngineCtx::new();
+        engine.install_budget(Budget::none().max_fm_steps(limit));
+        let degraded = engine
+            .scope(|| analyze_interruptible(&gemm(), &serial_gemm_options()))
+            .expect("interrupt after the input term must degrade, not fail");
+        let degradation = degraded.degradation.expect("budget tripped mid-sweep");
+        assert_eq!(degradation.interrupt.code(), "fm_steps");
+        assert!(degradation.sweep_total > 0);
+        assert!(degradation.sweep_completed < degradation.sweep_total);
+        // The degraded bound still carries the compulsory-miss term — a
+        // valid (if weaker) lower bound.
+        assert_eq!(degraded.input_size.to_string(), full_input);
     }
 
     #[test]

@@ -85,9 +85,9 @@ pub mod report;
 pub mod wavefront;
 pub mod workload;
 
-pub use analyzer::{AnalysisOutcome, Analyzer};
+pub use analyzer::{AnalysisOutcome, AnalyzeError, Analyzer};
 pub use bound::{Instance, LowerBound, Technique};
-pub use driver::{analyze, Analysis, AnalysisOptions};
+pub use driver::{analyze, analyze_interruptible, Analysis, AnalysisOptions, Degradation};
 pub use oi::{OiSummary, Regime};
 pub use report::Report;
 pub use workload::{PreparedWorkload, Workload, WorkloadError};

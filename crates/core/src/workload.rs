@@ -40,7 +40,7 @@ pub struct PreparedWorkload {
 }
 
 /// An error preparing a workload (file I/O, front-end, lowering, …).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct WorkloadError(pub String);
 
 impl WorkloadError {

@@ -1,0 +1,409 @@
+//! Cooperative deadlines, work budgets and cancellation for the engine.
+//!
+//! Fourier–Motzkin projection is worst-case doubly exponential, so a single
+//! adversarial affine program can park an engine session (and whatever
+//! thread drives it) arbitrarily long. A [`Budget`] bounds one analysis run
+//! four ways — wall-clock deadline, Fourier–Motzkin step count, constraint
+//! count per projected system, and resident cache entries — and carries an
+//! optional external [`CancelToken`] a supervisor (e.g. the serving layer)
+//! can trip mid-flight.
+//!
+//! Enforcement is **cooperative**: the hot loops of [`crate::fm`] and
+//! [`crate::count`] poll the ambient session's installed budget at
+//! checkpoints (once per variable elimination, periodically inside the
+//! elimination cross-product and `prune`, and per cardinality query). A
+//! tripped budget raises a typed [`EngineInterrupt`] that unwinds out of the
+//! engine; callers re-materialise it as a value with
+//! [`EngineInterrupt::catch`] at the driver/session boundary. The unwind is
+//! started with [`std::panic::resume_unwind`], so it does **not** run the
+//! panic hook — an interrupt is control flow, not a bug report.
+//!
+//! Budgets are installed on a live session with
+//! [`EngineCtx::install_budget`](crate::EngineCtx::install_budget); they are
+//! deliberately *not* part of [`EngineConfig`](crate::EngineConfig) (and so
+//! not part of its fingerprint), because a budget belongs to one request,
+//! not to the session's reusable capacity configuration. A session with no
+//! budget installed pays a single relaxed atomic load per checkpoint.
+//!
+//! ```
+//! use iolb_poly::budget::{Budget, EngineInterrupt};
+//! use iolb_poly::{fm, parse_set, EngineCtx};
+//!
+//! let session = EngineCtx::new();
+//! session.install_budget(Budget::none().max_fm_steps(1));
+//! let err = session.scope(|| {
+//!     EngineInterrupt::catch(|| {
+//!         let s = parse_set("[N] -> { S[i, j] : 0 <= i <= j and j < N }").unwrap();
+//!         // Deciding feasibility needs several eliminations; the budget
+//!         // allows one.
+//!         fm::is_feasible_in(&EngineCtx::current(), s.constraints(), s.dim())
+//!     })
+//! });
+//! assert_eq!(err, Err(EngineInterrupt::FmSteps { limit: 1 }));
+//! session.clear_budget();
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancellation flag: cloned handles observe the same flag, so a
+/// supervisor thread can cancel an analysis running elsewhere.
+///
+/// Cancellation is one-way and sticky — there is no "uncancel" — which is
+/// what makes it safe to check with relaxed loads from hot loops.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trips the token. Every engine checkpoint observing a budget that
+    /// carries this token will raise [`EngineInterrupt::Cancelled`] from now
+    /// on. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Limits for one analysis run. Every field is optional; [`Budget::none`]
+/// (or `Budget::default()`) limits nothing.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    /// Wall-clock instant after which the run is interrupted.
+    pub deadline: Option<Instant>,
+    /// Maximum Fourier–Motzkin variable eliminations.
+    pub max_fm_steps: Option<u64>,
+    /// Maximum constraints a single projected system may hold after
+    /// pruning (the FM blowup guard).
+    pub max_constraints: Option<usize>,
+    /// Maximum memoized query results resident in the session's cache.
+    pub max_cache_entries: Option<usize>,
+    /// External cancellation handle.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// The unlimited budget.
+    pub fn none() -> Self {
+        Budget::default()
+    }
+
+    /// Interrupt the run at the given instant.
+    pub fn deadline_at(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Interrupt the run after `within` from now.
+    pub fn deadline_in(self, within: Duration) -> Self {
+        self.deadline_at(Instant::now() + within)
+    }
+
+    /// Interrupt the run after `limit` Fourier–Motzkin eliminations.
+    pub fn max_fm_steps(mut self, limit: u64) -> Self {
+        self.max_fm_steps = Some(limit);
+        self
+    }
+
+    /// Interrupt the run when a projected system exceeds `limit` constraints.
+    pub fn max_constraints(mut self, limit: usize) -> Self {
+        self.max_constraints = Some(limit);
+        self
+    }
+
+    /// Interrupt the run when the session cache exceeds `limit` entries.
+    pub fn max_cache_entries(mut self, limit: usize) -> Self {
+        self.max_cache_entries = Some(limit);
+        self
+    }
+
+    /// Attach an external cancellation token.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// True when the budget limits nothing (installing it is a no-op).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_fm_steps.is_none()
+            && self.max_constraints.is_none()
+            && self.max_cache_entries.is_none()
+            && self.cancel.is_none()
+    }
+}
+
+/// The live enforcement state of an installed [`Budget`]: the limits plus
+/// the run's own step counter (the counter must not be shared with
+/// [`crate::stats`], whose counters a caller may reset mid-run).
+#[derive(Debug)]
+pub(crate) struct BudgetState {
+    budget: Budget,
+    fm_steps: AtomicU64,
+}
+
+impl BudgetState {
+    pub(crate) fn new(budget: Budget) -> Self {
+        BudgetState {
+            budget,
+            fm_steps: AtomicU64::new(0),
+        }
+    }
+
+    /// Deadline + cancellation poll (the cheap checks shared by every
+    /// checkpoint).
+    pub(crate) fn poll(&self) -> Result<(), EngineInterrupt> {
+        if let Some(token) = &self.budget.cancel {
+            if token.is_cancelled() {
+                return Err(EngineInterrupt::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if Instant::now() >= deadline {
+                return Err(EngineInterrupt::Deadline);
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges one Fourier–Motzkin elimination and polls every limit that
+    /// can be checked without external state.
+    pub(crate) fn on_fm_step(&self) -> Result<(), EngineInterrupt> {
+        let steps = self.fm_steps.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(limit) = self.budget.max_fm_steps {
+            if steps > limit {
+                return Err(EngineInterrupt::FmSteps { limit });
+            }
+        }
+        self.poll()
+    }
+
+    /// Checks a projected system's constraint count against the budget.
+    pub(crate) fn check_constraints(&self, observed: usize) -> Result<(), EngineInterrupt> {
+        if let Some(limit) = self.budget.max_constraints {
+            if observed > limit {
+                return Err(EngineInterrupt::Constraints { limit, observed });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the session's resident cache entries against the budget.
+    pub(crate) fn check_cache_entries(&self, observed: usize) -> Result<(), EngineInterrupt> {
+        if let Some(limit) = self.budget.max_cache_entries {
+            if observed > limit {
+                return Err(EngineInterrupt::CacheEntries { limit, observed });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a budgeted run was interrupted. Raised out of engine hot loops by
+/// [`EngineInterrupt::raise`] and caught at a boundary with
+/// [`EngineInterrupt::catch`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineInterrupt {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The external [`CancelToken`] was tripped.
+    Cancelled,
+    /// The Fourier–Motzkin step budget was exhausted.
+    FmSteps {
+        /// The configured step limit.
+        limit: u64,
+    },
+    /// A projected constraint system outgrew the budget.
+    Constraints {
+        /// The configured constraint limit.
+        limit: usize,
+        /// The size of the offending system.
+        observed: usize,
+    },
+    /// The session cache outgrew the budget.
+    CacheEntries {
+        /// The configured cache-entry limit.
+        limit: usize,
+        /// The resident entry count that tripped it.
+        observed: usize,
+    },
+}
+
+impl EngineInterrupt {
+    /// A stable machine-readable code naming the limit that tripped
+    /// (`"deadline"`, `"cancelled"`, `"fm_steps"`, `"constraints"`,
+    /// `"cache_entries"`); serialised into reports and wire responses.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EngineInterrupt::Deadline => "deadline",
+            EngineInterrupt::Cancelled => "cancelled",
+            EngineInterrupt::FmSteps { .. } => "fm_steps",
+            EngineInterrupt::Constraints { .. } => "constraints",
+            EngineInterrupt::CacheEntries { .. } => "cache_entries",
+        }
+    }
+
+    /// Starts the interrupt unwind. Uses [`std::panic::resume_unwind`], so
+    /// the panic hook does not run — interrupts are expected control flow,
+    /// not bug reports — and the payload is exactly `self`, which
+    /// [`EngineInterrupt::catch`] recovers by downcast.
+    pub fn raise(self) -> ! {
+        std::panic::resume_unwind(Box::new(self))
+    }
+
+    /// Runs `f`, converting a raised [`EngineInterrupt`] back into a value.
+    /// Any other panic (a genuine bug or capacity violation) is re-raised
+    /// untouched, so this never masks real failures.
+    ///
+    /// The closure is asserted unwind-safe: engine state is designed to
+    /// stay consistent across an interrupt unwind (cache compute closures
+    /// run outside the shard locks, counters are atomics), and an
+    /// interrupted session is expected to be either retired or used only
+    /// for whole queries afterwards.
+    pub fn catch<R>(f: impl FnOnce() -> R) -> Result<R, EngineInterrupt> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            Ok(value) => Ok(value),
+            Err(payload) => match payload.downcast::<EngineInterrupt>() {
+                Ok(interrupt) => Err(*interrupt),
+                Err(other) => std::panic::resume_unwind(other),
+            },
+        }
+    }
+}
+
+impl fmt::Display for EngineInterrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineInterrupt::Deadline => write!(f, "analysis deadline exceeded"),
+            EngineInterrupt::Cancelled => write!(f, "analysis cancelled"),
+            EngineInterrupt::FmSteps { limit } => {
+                write!(f, "Fourier–Motzkin step budget exhausted ({limit} steps)")
+            }
+            EngineInterrupt::Constraints { limit, observed } => write!(
+                f,
+                "constraint system outgrew the budget ({observed} constraints, limit {limit})"
+            ),
+            EngineInterrupt::CacheEntries { limit, observed } => write!(
+                f,
+                "session cache outgrew the budget ({observed} entries, limit {limit})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineInterrupt {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        assert!(Budget::none().is_unlimited());
+        assert!(!Budget::none().max_fm_steps(10).is_unlimited());
+        assert!(!Budget::none()
+            .deadline_in(Duration::from_secs(1))
+            .is_unlimited());
+        assert!(!Budget::none()
+            .cancel_token(CancelToken::new())
+            .is_unlimited());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_sticky() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        a.cancel();
+        assert!(a.is_cancelled(), "idempotent");
+    }
+
+    #[test]
+    fn state_trips_each_limit() {
+        let state = BudgetState::new(Budget::none().max_fm_steps(2));
+        assert_eq!(state.on_fm_step(), Ok(()));
+        assert_eq!(state.on_fm_step(), Ok(()));
+        assert_eq!(
+            state.on_fm_step(),
+            Err(EngineInterrupt::FmSteps { limit: 2 })
+        );
+
+        let state = BudgetState::new(Budget::none().max_constraints(4));
+        assert_eq!(state.check_constraints(4), Ok(()));
+        assert_eq!(
+            state.check_constraints(5),
+            Err(EngineInterrupt::Constraints {
+                limit: 4,
+                observed: 5
+            })
+        );
+
+        let state = BudgetState::new(Budget::none().max_cache_entries(1));
+        assert_eq!(state.check_cache_entries(1), Ok(()));
+        assert!(state.check_cache_entries(2).is_err());
+
+        let expired = BudgetState::new(Budget::none().deadline_at(Instant::now()));
+        assert_eq!(expired.poll(), Err(EngineInterrupt::Deadline));
+
+        let token = CancelToken::new();
+        let cancellable = BudgetState::new(Budget::none().cancel_token(token.clone()));
+        assert_eq!(cancellable.poll(), Ok(()));
+        token.cancel();
+        assert_eq!(cancellable.poll(), Err(EngineInterrupt::Cancelled));
+        // Cancellation outranks the deadline in reporting.
+        assert_eq!(cancellable.on_fm_step(), Err(EngineInterrupt::Cancelled));
+    }
+
+    #[test]
+    fn raise_and_catch_round_trip() {
+        let err = EngineInterrupt::catch(|| EngineInterrupt::Deadline.raise());
+        assert_eq!(err, Err(EngineInterrupt::Deadline));
+        // Non-interrupt results pass through.
+        assert_eq!(EngineInterrupt::catch(|| 42), Ok(42));
+    }
+
+    #[test]
+    fn foreign_panics_are_not_swallowed() {
+        let result = std::panic::catch_unwind(|| {
+            let _ = EngineInterrupt::catch(|| panic!("a real bug"));
+        });
+        assert!(result.is_err(), "the real panic must keep unwinding");
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(EngineInterrupt::Deadline.code(), "deadline");
+        assert_eq!(EngineInterrupt::Cancelled.code(), "cancelled");
+        assert_eq!(EngineInterrupt::FmSteps { limit: 1 }.code(), "fm_steps");
+        assert_eq!(
+            EngineInterrupt::Constraints {
+                limit: 1,
+                observed: 2
+            }
+            .code(),
+            "constraints"
+        );
+        assert_eq!(
+            EngineInterrupt::CacheEntries {
+                limit: 1,
+                observed: 2
+            }
+            .code(),
+            "cache_entries"
+        );
+    }
+}

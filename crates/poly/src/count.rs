@@ -110,6 +110,11 @@ fn linexpr_to_poly(engine: &EngineCtx, e: &LinExpr, ndims: usize) -> Poly {
 /// against `engine` explicitly, so cache entries and counters land there).
 pub fn card_basic_in(engine: &EngineCtx, set: &BasicSet, ctx: &Context) -> Option<Poly> {
     engine.counters().bump_count_call();
+    // One budget checkpoint per top-level cardinality query: the only place
+    // the (shard-summing, hence not hot-loop-safe) cache-entry limit is
+    // enforced. Deadline/step limits also fire inside fm via the per-
+    // elimination checkpoints.
+    engine.checkpoint_cache();
     engine.query_cache().count(
         engine.counters(),
         set.constraints(),

@@ -52,13 +52,14 @@
 //! only remaining `OnceLock` in this crate and exists purely as a
 //! deprecated-shim landing pad.
 
+use crate::budget::{Budget, BudgetState};
 use crate::cache::QueryCache;
 use crate::interner::{ParamId, ParamTable};
 use crate::stats::{Counters, Snapshot};
 use std::cell::RefCell;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Capacity configuration for a session (every piece of engine state is
 /// capped; a session can never grow without bound).
@@ -121,6 +122,15 @@ pub struct EngineCtx {
     interner: ParamTable,
     cache: QueryCache,
     stats: Counters,
+    /// Fast-path flag for the checkpoint methods: `true` iff `budget` holds
+    /// an installed budget. Keeps the no-budget cost of a checkpoint to one
+    /// relaxed load.
+    budget_active: AtomicBool,
+    /// The per-request budget, installable on a live (even pooled) session.
+    /// Deliberately *not* part of [`EngineConfig`] or its fingerprint: a
+    /// budget belongs to one request, not to the session's reusable
+    /// capacity configuration.
+    budget: Mutex<Option<Arc<BudgetState>>>,
 }
 
 impl std::fmt::Debug for EngineCtx {
@@ -153,6 +163,8 @@ impl EngineCtx {
             interner: ParamTable::new(id, config.interner_capacity),
             cache: QueryCache::new(config.cache_capacity, config.cache_enabled),
             stats: Counters::new(),
+            budget_active: AtomicBool::new(false),
+            budget: Mutex::new(None),
             config,
         })
     }
@@ -307,6 +319,89 @@ impl EngineCtx {
         &self.stats
     }
 
+    // --- budget facade ---------------------------------------------------
+
+    /// Installs a per-request [`Budget`] on this session. Subsequent engine
+    /// work (on any thread scoped to the session) polls it at the hot-loop
+    /// checkpoints and raises [`crate::EngineInterrupt`] when a limit trips.
+    /// Installing an [unlimited](Budget::is_unlimited) budget clears instead,
+    /// so the no-budget fast path stays a single atomic load.
+    pub fn install_budget(&self, budget: Budget) {
+        if budget.is_unlimited() {
+            self.clear_budget();
+            return;
+        }
+        *self.budget.lock().unwrap() = Some(Arc::new(BudgetState::new(budget)));
+        self.budget_active.store(true, Ordering::Release);
+    }
+
+    /// Removes any installed budget (idempotent).
+    pub fn clear_budget(&self) {
+        self.budget_active.store(false, Ordering::Release);
+        *self.budget.lock().unwrap() = None;
+    }
+
+    /// True when a budget is installed on the session.
+    pub fn budget_active(&self) -> bool {
+        self.budget_active.load(Ordering::Relaxed)
+    }
+
+    fn budget_state(&self) -> Option<Arc<BudgetState>> {
+        if !self.budget_active.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.budget.lock().unwrap().clone()
+    }
+
+    /// Checkpoint charged once per Fourier–Motzkin variable elimination:
+    /// counts the step and polls every installed limit.
+    #[inline]
+    pub fn checkpoint_fm_step(&self) {
+        if let Some(state) = self.budget_state() {
+            if let Err(interrupt) = state.on_fm_step() {
+                interrupt.raise();
+            }
+        }
+    }
+
+    /// Cheap deadline/cancellation poll for loops *inside* a single
+    /// elimination (the cross-product and `prune` passes), where one step
+    /// can itself run long on blowup-prone systems.
+    #[inline]
+    pub fn checkpoint_poll(&self) {
+        if let Some(state) = self.budget_state() {
+            if let Err(interrupt) = state.poll() {
+                interrupt.raise();
+            }
+        }
+    }
+
+    /// Checkpoint for the size of a freshly projected (pruned) constraint
+    /// system — the direct guard against FM constraint blowup.
+    #[inline]
+    pub fn checkpoint_constraints(&self, observed: usize) {
+        if let Some(state) = self.budget_state() {
+            if let Err(interrupt) = state.check_constraints(observed) {
+                interrupt.raise();
+            }
+        }
+    }
+
+    /// Checkpoint for the session's resident cache entries, charged once
+    /// per top-level cardinality query (`cache_len` sums the shard locks,
+    /// so it is too expensive for the inner loops).
+    #[inline]
+    pub fn checkpoint_cache(&self) {
+        if let Some(state) = self.budget_state() {
+            if let Err(interrupt) = state.poll() {
+                interrupt.raise();
+            }
+            if let Err(interrupt) = state.check_cache_entries(self.cache.len()) {
+                interrupt.raise();
+            }
+        }
+    }
+
     // --- pool recycling --------------------------------------------------
 
     /// Prepares the session for reuse by an unrelated follow-up request and
@@ -326,6 +421,9 @@ impl EngineCtx {
     /// fresh ones.
     pub fn recycle(&self) -> bool {
         self.stats.reset();
+        // A budget is strictly per-request state; a pooled session must
+        // never carry one request's limits into the next.
+        self.clear_budget();
         // Retire at ≥ 3/4 interner occupancy: plenty of headroom for any
         // realistic workload's parameter names, long before `intern` panics.
         self.interner.len() * 4 < self.config.interner_capacity * 3
@@ -450,6 +548,68 @@ mod tests {
         assert!(e.recycle(), "half-full interner still has headroom");
         e.intern("C");
         assert!(!e.recycle(), "3/4-full interner must be retired");
+    }
+
+    #[test]
+    fn budgets_install_trip_and_clear() {
+        use crate::budget::{Budget, CancelToken, EngineInterrupt};
+
+        let e = EngineCtx::new();
+        assert!(!e.budget_active());
+        // No budget: checkpoints are free no-ops.
+        e.checkpoint_fm_step();
+        e.checkpoint_constraints(usize::MAX);
+
+        e.install_budget(Budget::none().max_fm_steps(1));
+        assert!(e.budget_active());
+        e.checkpoint_fm_step(); // first step is within budget
+        let err = EngineInterrupt::catch(|| e.checkpoint_fm_step());
+        assert_eq!(err, Err(EngineInterrupt::FmSteps { limit: 1 }));
+
+        // Clearing disarms the checkpoints again.
+        e.clear_budget();
+        assert!(!e.budget_active());
+        e.checkpoint_fm_step();
+
+        // An unlimited budget is never armed.
+        e.install_budget(Budget::none());
+        assert!(!e.budget_active());
+
+        // Cancellation is observed by the cheap poll.
+        let token = CancelToken::new();
+        e.install_budget(Budget::none().cancel_token(token.clone()));
+        e.checkpoint_poll();
+        token.cancel();
+        let err = EngineInterrupt::catch(|| e.checkpoint_poll());
+        assert_eq!(err, Err(EngineInterrupt::Cancelled));
+    }
+
+    #[test]
+    fn recycle_drops_the_installed_budget() {
+        use crate::budget::Budget;
+
+        let e = EngineCtx::new();
+        e.install_budget(Budget::none().max_fm_steps(1));
+        assert!(e.budget_active());
+        assert!(e.recycle());
+        assert!(
+            !e.budget_active(),
+            "a pooled session must not inherit the previous request's limits"
+        );
+    }
+
+    #[test]
+    fn budgets_do_not_affect_the_pool_fingerprint() {
+        use crate::budget::Budget;
+
+        let e = EngineCtx::new();
+        let before = e.config().fingerprint();
+        e.install_budget(Budget::none().max_fm_steps(1));
+        assert_eq!(
+            e.config().fingerprint(),
+            before,
+            "budgets are per-request state, not pool-key configuration"
+        );
     }
 
     #[test]

@@ -80,13 +80,20 @@ const COEFF_CAP: i128 = 1 << 60;
 /// structural (constraints are normalised in place first) via 128-bit
 /// fingerprints, so identical constraints produced by different projection
 /// rounds collapse instead of feeding the quadratic Fourier–Motzkin blowup.
-pub(crate) fn prune(constraints: Vec<Constraint>) -> Vec<Constraint> {
+///
+/// Polls the session budget periodically: on blowup-prone systems a single
+/// prune pass can already be long, and the deadline/cancel checkpoints must
+/// fire inside it, not only between eliminations.
+pub(crate) fn prune(engine: &EngineCtx, constraints: Vec<Constraint>) -> Vec<Constraint> {
     let mut seen = crate::fxhash::FingerprintSet::with_capacity_and_hasher(
         constraints.len(),
         Default::default(),
     );
     let mut out = Vec::with_capacity(constraints.len());
-    for mut c in constraints {
+    for (i, mut c) in constraints.into_iter().enumerate() {
+        if i % 1024 == 1023 {
+            engine.checkpoint_poll();
+        }
         normalize_mut(&mut c);
         if c.is_trivially_true() {
             continue;
@@ -126,6 +133,7 @@ pub fn eliminate_var_owned_in(
     idx: usize,
 ) -> Vec<Constraint> {
     engine.counters().bump_fm_elimination();
+    engine.checkpoint_fm_step();
     // First try to use an equality to substitute the variable away.
     let eq_pos = constraints
         .iter()
@@ -152,7 +160,9 @@ pub fn eliminate_var_owned_in(
                 kind: c.kind,
             });
         }
-        return prune(out);
+        let out = prune(engine, out);
+        engine.checkpoint_constraints(out.len());
+        return out;
     }
 
     // Pure Fourier–Motzkin on inequalities.
@@ -176,6 +186,10 @@ pub fn eliminate_var_owned_in(
     }
     out.reserve(lowers.len() * uppers.len());
     for lo in &lowers {
+        // One poll per cross-product row: a single elimination of a dense
+        // system multiplies lowers × uppers, so deadline/cancel must be
+        // observable mid-elimination, not only between steps.
+        engine.checkpoint_poll();
         let a = lo.expr.var_coeffs[idx];
         for up in &uppers {
             let b = up.expr.var_coeffs[idx]; // negative
@@ -185,7 +199,9 @@ pub fn eliminate_var_owned_in(
             });
         }
     }
-    prune(out)
+    let out = prune(engine, out);
+    engine.checkpoint_constraints(out.len());
+    out
 }
 
 /// Eliminates several variables (indices into the current system, highest
@@ -275,7 +291,7 @@ pub fn is_feasible_in(engine: &EngineCtx, constraints: &[Constraint], nvars: usi
 /// The uncached feasibility kernel over a system given in parts.
 fn feasible_raw(engine: &EngineCtx, parts: &[&[Constraint]], nvars: usize) -> bool {
     let (mut cur, total) = parametrize_parts(engine, parts, nvars);
-    cur = prune(cur);
+    cur = prune(engine, cur);
     if cur.iter().any(|c| c.is_trivially_false()) {
         return false;
     }

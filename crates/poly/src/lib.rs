@@ -49,6 +49,7 @@
 pub mod affine;
 pub mod basic_map;
 pub mod basic_set;
+pub mod budget;
 pub mod cache;
 pub mod count;
 pub mod engine;
@@ -64,6 +65,7 @@ pub mod stats;
 pub use affine::{Constraint, ConstraintKind, LinExpr};
 pub use basic_map::{AffineFunction, BasicMap};
 pub use basic_set::BasicSet;
+pub use budget::{Budget, CancelToken, EngineInterrupt};
 pub use count::Context;
 pub use engine::{EngineConfig, EngineCtx, EngineGuard};
 pub use map::Map;

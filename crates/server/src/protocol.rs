@@ -22,11 +22,19 @@ pub const ERR_UNKNOWN_KERNEL: &str = "unknown_kernel";
 /// `line:col` diagnostics.
 pub const ERR_WORKLOAD: &str = "workload_error";
 /// Error code: the request queue is full — back off and retry (the
-/// HTTP-429 analogue).
+/// HTTP-429 analogue). The error object carries a `retry_after_ms` hint:
+/// current queue depth times the recent mean service time.
 pub const ERR_OVERLOADED: &str = "overloaded";
 /// Error code: the analysis did not finish within the request's
-/// `timeout_ms`; the worker slot is reclaimed when the analysis completes.
+/// `timeout_ms`. The in-flight analysis is cancelled at its next engine
+/// checkpoint, so the worker slot is reclaimed within one checkpoint
+/// interval, not when the analysis would have completed.
 pub const ERR_TIMEOUT: &str = "timeout";
+/// Error code: an engine work budget (`budget` limits or the server-side
+/// deadline derived from `timeout_ms`) tripped before the analysis could
+/// prove *any* valid bound. Budgets that trip mid-sweep instead produce a
+/// successful-but-`degraded` response.
+pub const ERR_RESOURCE_LIMIT: &str = "resource_limit";
 /// Error code: the server is draining after a `shutdown` request and
 /// accepts no new analyses.
 pub const ERR_SHUTTING_DOWN: &str = "shutting_down";
@@ -69,6 +77,22 @@ pub struct AnalyzeRequest {
     pub parallel: bool,
     /// `"timeout_ms"`: per-request timeout override.
     pub timeout_ms: Option<u64>,
+    /// `"budget"`: explicit engine work limits for this request.
+    pub budget: Option<BudgetSpec>,
+}
+
+/// `"budget"`: explicit engine work limits, an object with any subset of
+/// the three limit fields (each a positive integer). Tripping a limit
+/// mid-sweep degrades the result; tripping before any valid bound exists
+/// is a [`ERR_RESOURCE_LIMIT`] error.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BudgetSpec {
+    /// `"fm_steps"`: maximum Fourier–Motzkin variable eliminations.
+    pub fm_steps: Option<u64>,
+    /// `"constraints"`: maximum constraints in any intermediate system.
+    pub constraints: Option<usize>,
+    /// `"cache_entries"`: maximum session memoization-cache entries.
+    pub cache_entries: Option<usize>,
 }
 
 /// Any parsed request line.
@@ -117,7 +141,11 @@ const ANALYZE_FIELDS: &[&str] = &[
     "depth",
     "parallel",
     "timeout_ms",
+    "budget",
 ];
+
+/// Every field a `budget` object may carry.
+const BUDGET_FIELDS: &[&str] = &["fm_steps", "constraints", "cache_entries"];
 
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, RequestError> {
@@ -302,6 +330,51 @@ fn parse_analyze(
             }
         },
     };
+    let budget = match doc.get("budget") {
+        None => None,
+        Some(value) => {
+            let obj = value.as_obj().ok_or_else(|| {
+                bad(
+                    &id,
+                    format!(
+                        "field \"budget\" must be an object of limit -> integer, got {}",
+                        value.type_name()
+                    ),
+                )
+            })?;
+            if let Some((key, _)) = obj
+                .iter()
+                .find(|(k, _)| !BUDGET_FIELDS.contains(&k.as_str()))
+            {
+                return Err(bad(
+                    &id,
+                    format!(
+                        "unknown budget field \"{key}\" (want \"fm_steps\", \"constraints\" or \"cache_entries\")"
+                    ),
+                ));
+            }
+            let limit = |key: &str| -> Result<Option<u64>, RequestError> {
+                match value.get(key) {
+                    None => Ok(None),
+                    Some(v) => match v.as_u64() {
+                        Some(n) if n > 0 => Ok(Some(n)),
+                        _ => Err(bad(
+                            &id,
+                            format!(
+                                "budget field \"{key}\" must be a positive integer, got {}",
+                                v.render()
+                            ),
+                        )),
+                    },
+                }
+            };
+            Some(BudgetSpec {
+                fm_steps: limit("fm_steps")?,
+                constraints: limit("constraints")?.map(|n| n as usize),
+                cache_entries: limit("cache_entries")?.map(|n| n as usize),
+            })
+        }
+    };
 
     Ok(AnalyzeRequest {
         id,
@@ -313,6 +386,7 @@ fn parse_analyze(
         depth,
         parallel,
         timeout_ms,
+        budget,
     })
 }
 
@@ -337,12 +411,42 @@ pub struct ServiceTimings {
     pub pool_sessions: usize,
 }
 
+/// How far a degraded analysis got before its budget tripped; rendered as
+/// the top-level `degraded`/`budget` fields of a successful response.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradedInfo<'a> {
+    /// Which budget tripped: `"deadline"`, `"cancelled"`, `"fm_steps"`,
+    /// `"constraints"` or `"cache_entries"`.
+    pub tripped: &'a str,
+    /// Candidate-sweep jobs fully derived before the interrupt.
+    pub sweep_completed: usize,
+    /// Total candidate-sweep jobs planned.
+    pub sweep_total: usize,
+}
+
 /// Renders a successful `analyze` response. `report_json` is the (possibly
 /// multi-line) document from `AnalysisOutcome::to_json`; it is embedded
-/// compactly so the response stays one line.
-pub fn ok_response(id: &str, report_json: &str, timings: &ServiceTimings) -> String {
+/// compactly so the response stays one line. `degraded` adds the
+/// `degraded: true` marker and the `budget` progress object when a work
+/// budget tripped mid-analysis; clean responses are byte-identical to the
+/// pre-budget wire format.
+pub fn ok_response(
+    id: &str,
+    report_json: &str,
+    timings: &ServiceTimings,
+    degraded: Option<DegradedInfo<'_>>,
+) -> String {
+    let degraded = match degraded {
+        None => String::new(),
+        Some(d) => format!(
+            ",\"degraded\":true,\"budget\":{{\"tripped\":{},\"sweep_completed\":{},\"sweep_total\":{}}}",
+            json::escape(d.tripped),
+            d.sweep_completed,
+            d.sweep_total,
+        ),
+    };
     format!(
-        "{{\"id\":{id},\"status\":\"ok\",\"report\":{},\"server\":{{\"queue_ms\":{:.3},\"service_ms\":{:.3},\"analysis_ms\":{:.3},\"session_warm\":{},\"pool_sessions\":{}}}}}",
+        "{{\"id\":{id},\"status\":\"ok\",\"report\":{},\"server\":{{\"queue_ms\":{:.3},\"service_ms\":{:.3},\"analysis_ms\":{:.3},\"session_warm\":{},\"pool_sessions\":{}}}{degraded}}}",
         json::compact(report_json).trim_end(),
         timings.queue_ms,
         timings.service_ms,
@@ -358,6 +462,16 @@ pub fn error_response(id: &str, code: &str, message: &str) -> String {
     format!(
         "{{\"id\":{id},\"status\":\"error\",\"error\":{{\"code\":{},\"message\":{}}}}}",
         json::escape(code),
+        json::escape(message),
+    )
+}
+
+/// Renders an [`ERR_OVERLOADED`] response carrying a `retry_after_ms`
+/// back-off hint (queue depth × recent mean service time).
+pub fn overloaded_response(id: &str, message: &str, retry_after_ms: u64) -> String {
+    format!(
+        "{{\"id\":{id},\"status\":\"error\",\"error\":{{\"code\":{},\"message\":{},\"retry_after_ms\":{retry_after_ms}}}}}",
+        json::escape(ERR_OVERLOADED),
         json::escape(message),
     )
 }
@@ -390,7 +504,8 @@ mod tests {
         let req = parse_request(
             r#"{"id": 7, "op": "analyze", "source": "parameter N;", "params": {"N": 100},
                 "cache_param": "Cap", "cache_size": 512, "cache_cap": 1024, "depth": 1,
-                "parallel": true, "timeout_ms": 5000}"#,
+                "parallel": true, "timeout_ms": 5000,
+                "budget": {"fm_steps": 100000, "constraints": 4096, "cache_entries": 65536}}"#,
         )
         .unwrap();
         let Request::Analyze(req) = req else {
@@ -405,6 +520,30 @@ mod tests {
         assert_eq!(req.depth, Some(1));
         assert!(req.parallel);
         assert_eq!(req.timeout_ms, Some(5000));
+        assert_eq!(
+            req.budget,
+            Some(BudgetSpec {
+                fm_steps: Some(100_000),
+                constraints: Some(4096),
+                cache_entries: Some(65_536),
+            })
+        );
+    }
+
+    #[test]
+    fn parses_a_partial_budget() {
+        let req =
+            parse_request(r#"{"id": 1, "kernel": "gemm", "budget": {"fm_steps": 9}}"#).unwrap();
+        let Request::Analyze(req) = req else {
+            panic!("want analyze");
+        };
+        assert_eq!(
+            req.budget,
+            Some(BudgetSpec {
+                fm_steps: Some(9),
+                ..BudgetSpec::default()
+            })
+        );
     }
 
     #[test]
@@ -450,6 +589,18 @@ mod tests {
                 "positive integer",
             ),
             (r#"{"id": "x", "kernel": "a", "depth": -1}"#, "non-negative"),
+            (
+                r#"{"id": "x", "kernel": "a", "budget": 7}"#,
+                "must be an object",
+            ),
+            (
+                r#"{"id": "x", "kernel": "a", "budget": {"fm_stepz": 1}}"#,
+                "unknown budget field",
+            ),
+            (
+                r#"{"id": "x", "kernel": "a", "budget": {"constraints": 0}}"#,
+                "positive integer",
+            ),
             (r#"{"id": "x", "op": "frobnicate"}"#, "unknown op"),
         ];
         for (line, want) in cases {
@@ -470,7 +621,7 @@ mod tests {
             session_warm: true,
             pool_sessions: 3,
         };
-        let ok = ok_response("\"r1\"", "{\n  \"schema_version\": 1\n}\n", &timings);
+        let ok = ok_response("\"r1\"", "{\n  \"schema_version\": 1\n}\n", &timings, None);
         assert!(!ok.contains('\n'));
         let doc = crate::json::parse(&ok).unwrap();
         assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
@@ -482,6 +633,7 @@ mod tests {
             doc.get("server").unwrap().get("session_warm"),
             Some(&Json::Bool(true))
         );
+        assert_eq!(doc.get("degraded"), None, "clean responses stay unmarked");
 
         let err = error_response("null", ERR_OVERLOADED, "queue full (64 requests)");
         assert!(!err.contains('\n'));
@@ -491,5 +643,40 @@ mod tests {
             doc.get("error").unwrap().get("code").unwrap().as_str(),
             Some(ERR_OVERLOADED)
         );
+    }
+
+    #[test]
+    fn degraded_responses_carry_the_budget_progress() {
+        let timings = ServiceTimings {
+            queue_ms: 0.5,
+            service_ms: 12.25,
+            analysis_ms: 11.0,
+            session_warm: false,
+            pool_sessions: 0,
+        };
+        let degraded = DegradedInfo {
+            tripped: "fm_steps",
+            sweep_completed: 3,
+            sweep_total: 8,
+        };
+        let line = ok_response("1", "{\"schema_version\": 1}", &timings, Some(degraded));
+        assert!(!line.contains('\n'));
+        let doc = crate::json::parse(&line).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(doc.get("degraded"), Some(&Json::Bool(true)));
+        let budget = doc.get("budget").unwrap();
+        assert_eq!(budget.get("tripped").unwrap().as_str(), Some("fm_steps"));
+        assert_eq!(budget.get("sweep_completed"), Some(&Json::Int(3)));
+        assert_eq!(budget.get("sweep_total"), Some(&Json::Int(8)));
+    }
+
+    #[test]
+    fn overloaded_responses_carry_a_retry_hint() {
+        let line = overloaded_response("\"r9\"", "request queue is full (4 queued)", 850);
+        assert!(!line.contains('\n'));
+        let doc = crate::json::parse(&line).unwrap();
+        let error = doc.get("error").unwrap();
+        assert_eq!(error.get("code").unwrap().as_str(), Some(ERR_OVERLOADED));
+        assert_eq!(error.get("retry_after_ms"), Some(&Json::Int(850)));
     }
 }

@@ -14,10 +14,18 @@
 //! Every analysis runs inside its own engine session drawn from the
 //! [`SessionPool`], so concurrent requests share no interner, cache or
 //! counters — the per-request `engine_stats` in the response are exact
-//! deltas for that request alone. Timeouts release the *client* (the worker
-//! cannot preempt a running analysis; it finishes, its result is dropped,
-//! and the slot frees up), and queued requests whose client already timed
-//! out are skipped without being analysed.
+//! deltas for that request alone. Timeouts are *cooperative cancellation*:
+//! the client's timeout trips a [`CancelToken`] observed at the engine's
+//! budget checkpoints, so the in-flight analysis stops at its next
+//! checkpoint instead of running to completion, and queued requests whose
+//! client already timed out are skipped without being analysed. Each
+//! analysis also runs under a server-side deadline at 90% of its client's
+//! timeout, so a budget-degraded result can still reach the client before
+//! the client stops listening. Sessions whose analysis was interrupted
+//! mid-query (cancelled, deadline, or an explicit `budget` limit) are
+//! retired — dropped, never recycled back into the pool — because the
+//! interrupt unwinds the engine mid-computation and a conservatively fresh
+//! session is cheaper than auditing what the unwind left behind.
 //!
 //! Shutdown is a drain: after a `shutdown` request (or
 //! [`Server::shutdown`]), new analyses are refused with `shutting_down`,
@@ -25,12 +33,13 @@
 //! joined once the queue is empty.
 
 use crate::protocol::{
-    self, ok_response, parse_request, AnalyzeRequest, Request, ServiceTimings, WorkloadSpec,
-    ERR_OVERLOADED, ERR_SHUTTING_DOWN, ERR_TIMEOUT, ERR_UNKNOWN_KERNEL, ERR_WORKLOAD,
+    self, ok_response, overloaded_response, parse_request, AnalyzeRequest, DegradedInfo, Request,
+    ServiceTimings, WorkloadSpec, ERR_RESOURCE_LIMIT, ERR_SHUTTING_DOWN, ERR_TIMEOUT,
+    ERR_UNKNOWN_KERNEL, ERR_WORKLOAD,
 };
 use iolb_core::pool::SessionPool;
-use iolb_core::Analyzer;
-use iolb_poly::EngineConfig;
+use iolb_core::{AnalyzeError, Analyzer};
+use iolb_poly::{Budget, CancelToken, EngineConfig, EngineInterrupt};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -76,9 +85,11 @@ struct Job {
     request: AnalyzeRequest,
     reply: mpsc::Sender<String>,
     enqueued_at: Instant,
-    /// Set by the client when it stops waiting (timeout); a worker popping
-    /// an abandoned job skips the analysis.
-    abandoned: Arc<AtomicBool>,
+    /// Cancelled by the client when it stops waiting (timeout). A worker
+    /// popping a cancelled job skips the analysis; a worker already
+    /// executing it observes the token at the engine's budget checkpoints
+    /// and stops at the next one.
+    cancel: CancelToken,
 }
 
 #[derive(Default)]
@@ -88,7 +99,28 @@ struct Metrics {
     failed: AtomicU64,
     overloaded: AtomicU64,
     timeouts: AtomicU64,
-    abandoned: AtomicU64,
+    /// Jobs whose client abandoned them while still queued: skipped, never
+    /// analysed.
+    abandoned_skipped: AtomicU64,
+    /// Jobs whose client abandoned them while a worker was executing: the
+    /// worker finished (or was cancelled mid-flight) and found no one
+    /// listening for the response.
+    abandoned_completed: AtomicU64,
+    /// Analyses stopped mid-flight by a tripped [`CancelToken`].
+    cancelled_in_flight: AtomicU64,
+    /// Successful responses marked `degraded` (a budget tripped mid-sweep
+    /// but an already-proven bound was kept).
+    degraded: AtomicU64,
+    /// Analyses interrupted before any valid bound existed
+    /// (`resource_limit` errors).
+    resource_limited: AtomicU64,
+    /// Sessions dropped instead of pooled because their analysis was
+    /// interrupted mid-query.
+    sessions_retired: AtomicU64,
+    /// Total service time of completed requests, in microseconds, plus the
+    /// sample count — the running mean behind the `retry_after_ms` hint.
+    service_us: AtomicU64,
+    service_samples: AtomicU64,
 }
 
 struct Inner {
@@ -98,6 +130,21 @@ struct Inner {
     queue_cv: Condvar,
     draining: AtomicBool,
     metrics: Metrics,
+}
+
+impl Inner {
+    /// Back-off hint for overloaded clients: queue depth × the running mean
+    /// service time of completed requests. Before any request completes the
+    /// mean is unknown; 250 ms stands in so the hint is never zero.
+    fn retry_after_ms(&self, queue_depth: usize) -> u64 {
+        let samples = self.metrics.service_samples.load(Ordering::Relaxed);
+        let mean_ms = if samples == 0 {
+            250.0
+        } else {
+            self.metrics.service_us.load(Ordering::Relaxed) as f64 / samples as f64 / 1e3
+        };
+        (queue_depth.max(1) as f64 * mean_ms).ceil() as u64
+    }
 }
 
 /// A running analysis daemon. See the [module docs](self) and
@@ -192,7 +239,7 @@ impl Server {
                 .unwrap_or(inner.config.default_timeout_ms),
         );
         let (reply_tx, reply_rx) = mpsc::channel();
-        let abandoned = Arc::new(AtomicBool::new(false));
+        let cancel = CancelToken::new();
         {
             let mut queue = inner.queue.lock().unwrap();
             // The drain check must happen under the queue lock: workers
@@ -209,34 +256,35 @@ impl Server {
             }
             if queue.len() >= inner.config.queue_capacity {
                 inner.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
-                return protocol::error_response(
+                return overloaded_response(
                     &id,
-                    ERR_OVERLOADED,
                     &format!(
                         "request queue is full ({} queued); retry with backoff",
                         queue.len()
                     ),
+                    inner.retry_after_ms(queue.len()),
                 );
             }
             queue.push_back(Job {
                 request,
                 reply: reply_tx,
                 enqueued_at: Instant::now(),
-                abandoned: abandoned.clone(),
+                cancel: cancel.clone(),
             });
         }
         inner.queue_cv.notify_one();
         match reply_rx.recv_timeout(timeout) {
             Ok(response) => response,
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                abandoned.store(true, Ordering::SeqCst);
+                cancel.cancel();
                 inner.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
                 protocol::error_response(
                     &id,
                     ERR_TIMEOUT,
                     &format!(
-                        "analysis did not finish within {} ms (it keeps running server-side; \
-                         raise \"timeout_ms\" for heavy kernels)",
+                        "analysis did not finish within {} ms (the in-flight work is \
+                         cancelled at its next engine checkpoint; raise \"timeout_ms\" \
+                         for heavy kernels)",
                         timeout.as_millis()
                     ),
                 )
@@ -263,6 +311,8 @@ impl Server {
              \"workers\":{},\"queue_capacity\":{},\"queue_depth\":{},\"draining\":{},\
              \"requests_received\":{},\"requests_completed\":{},\"requests_failed\":{},\
              \"rejected_overloaded\":{},\"timeouts\":{},\"abandoned_skipped\":{},\
+             \"abandoned_completed\":{},\"cancelled_in_flight\":{},\"degraded\":{},\
+             \"resource_limited\":{},\"sessions_retired\":{},\
              \"pool\":{{\"capacity\":{},\"idle_sessions\":{},\"hits\":{},\"misses\":{},\
              \"evictions\":{},\"retired\":{}}}}}}}",
             inner.config.workers,
@@ -274,7 +324,12 @@ impl Server {
             m.failed.load(Ordering::Relaxed),
             m.overloaded.load(Ordering::Relaxed),
             m.timeouts.load(Ordering::Relaxed),
-            m.abandoned.load(Ordering::Relaxed),
+            m.abandoned_skipped.load(Ordering::Relaxed),
+            m.abandoned_completed.load(Ordering::Relaxed),
+            m.cancelled_in_flight.load(Ordering::Relaxed),
+            m.degraded.load(Ordering::Relaxed),
+            m.resource_limited.load(Ordering::Relaxed),
+            m.sessions_retired.load(Ordering::Relaxed),
             inner.pool.capacity(),
             inner.pool.len(),
             pool.hits,
@@ -450,10 +505,13 @@ fn worker_loop(inner: &Arc<Inner>) {
                 queue = inner.queue_cv.wait(queue).unwrap();
             }
         };
-        if job.abandoned.load(Ordering::SeqCst) {
+        if job.cancel.is_cancelled() {
             // The client already timed out while the job sat in the queue:
             // skip the analysis entirely.
-            inner.metrics.abandoned.fetch_add(1, Ordering::Relaxed);
+            inner
+                .metrics
+                .abandoned_skipped
+                .fetch_add(1, Ordering::Relaxed);
             continue;
         }
         let queue_ms = job.enqueued_at.elapsed().as_secs_f64() * 1e3;
@@ -463,7 +521,7 @@ fn worker_loop(inner: &Arc<Inner>) {
         // the worker thread — dead workers would silently shrink the pool
         // until the daemon stops serving.
         let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute(inner, &job.request, queue_ms)
+            execute(inner, &job, queue_ms)
         }))
         .unwrap_or_else(|panic| {
             inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
@@ -478,13 +536,21 @@ fn worker_loop(inner: &Arc<Inner>) {
                 &format!("analysis panicked: {message}"),
             )
         });
-        // A send failure means the client stopped waiting; nothing to do.
-        let _ = job.reply.send(response);
+        // A send failure means the client stopped waiting while the worker
+        // was executing: the work ran to its end (or to cancellation), but
+        // the abandonment is only observed now that it is finished.
+        if job.reply.send(response).is_err() {
+            inner
+                .metrics
+                .abandoned_completed
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
 /// Runs one analysis in a pooled session and renders the response line.
-fn execute(inner: &Inner, request: &AnalyzeRequest, queue_ms: f64) -> String {
+fn execute(inner: &Inner, job: &Job, queue_ms: f64) -> String {
+    let request = &job.request;
     let id = request.id.render();
     let started = Instant::now();
 
@@ -494,8 +560,33 @@ fn execute(inner: &Inner, request: &AnalyzeRequest, queue_ms: f64) -> String {
     }
     let checkout = inner.pool.checkout(&engine_config);
 
+    // The engine budget: the client's cancel token, a deadline at 90% of
+    // the client's timeout (so a degraded reply can still reach a client
+    // that is about to stop listening — measured from enqueue, exactly
+    // like the client's own clock), and any explicit `budget` limits.
+    let timeout = Duration::from_millis(
+        request
+            .timeout_ms
+            .unwrap_or(inner.config.default_timeout_ms),
+    );
+    let mut budget = Budget::none()
+        .cancel_token(job.cancel.clone())
+        .deadline_at(job.enqueued_at + timeout.mul_f64(0.9));
+    if let Some(spec) = &request.budget {
+        if let Some(n) = spec.fm_steps {
+            budget = budget.max_fm_steps(n);
+        }
+        if let Some(n) = spec.constraints {
+            budget = budget.max_constraints(n);
+        }
+        if let Some(n) = spec.cache_entries {
+            budget = budget.max_cache_entries(n);
+        }
+    }
+
     let mut analyzer = Analyzer::new()
         .engine(checkout.engine.clone())
+        .budget(budget)
         .parallel(request.parallel);
     if let Some(depth) = request.depth {
         analyzer = analyzer.max_parametrization_depth(depth);
@@ -531,24 +622,88 @@ fn execute(inner: &Inner, request: &AnalyzeRequest, queue_ms: f64) -> String {
         WorkloadSpec::Path(path) => analyzer.analyze(&iolb_frontend::IolbFile::new(path)),
     };
 
-    let response = match outcome {
+    let (response, interrupted) = match outcome {
         Ok(outcome) => {
             inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            let service_ms = started.elapsed().as_secs_f64() * 1e3;
+            inner
+                .metrics
+                .service_us
+                .fetch_add((service_ms * 1e3) as u64, Ordering::Relaxed);
+            inner
+                .metrics
+                .service_samples
+                .fetch_add(1, Ordering::Relaxed);
             let timings = ServiceTimings {
                 queue_ms,
-                service_ms: started.elapsed().as_secs_f64() * 1e3,
+                service_ms,
                 analysis_ms: outcome.elapsed.as_secs_f64() * 1e3,
                 session_warm: checkout.warm,
                 pool_sessions: inner.pool.len(),
             };
-            ok_response(&id, &outcome.to_json(), &timings)
+            let degraded = outcome.report.analysis.degradation.as_ref().map(|d| {
+                inner.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                if d.interrupt == EngineInterrupt::Cancelled {
+                    inner
+                        .metrics
+                        .cancelled_in_flight
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                DegradedInfo {
+                    tripped: d.interrupt.code(),
+                    sweep_completed: d.sweep_completed,
+                    sweep_total: d.sweep_total,
+                }
+            });
+            let interrupted = degraded.is_some();
+            (
+                ok_response(&id, &outcome.to_json(), &timings, degraded),
+                interrupted,
+            )
         }
-        Err(e) => {
+        Err(AnalyzeError::Interrupted(interrupt)) => {
             inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
-            protocol::error_response(&id, ERR_WORKLOAD, &e.to_string())
+            inner
+                .metrics
+                .resource_limited
+                .fetch_add(1, Ordering::Relaxed);
+            if interrupt == EngineInterrupt::Cancelled {
+                inner
+                    .metrics
+                    .cancelled_in_flight
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            (
+                protocol::error_response(
+                    &id,
+                    ERR_RESOURCE_LIMIT,
+                    &format!(
+                        "analysis interrupted by the \"{}\" budget before any valid \
+                         bound was proven",
+                        interrupt.code()
+                    ),
+                ),
+                true,
+            )
+        }
+        Err(AnalyzeError::Workload(e)) => {
+            inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            (
+                protocol::error_response(&id, ERR_WORKLOAD, &e.to_string()),
+                false,
+            )
         }
     };
-    inner.pool.checkin(checkout.engine);
+    if interrupted {
+        // Retire the session: the interrupt unwound the engine mid-query,
+        // so drop it instead of recycling it back into the pool.
+        inner
+            .metrics
+            .sessions_retired
+            .fetch_add(1, Ordering::Relaxed);
+    } else {
+        inner.pool.checkin(checkout.engine);
+    }
     response
 }
 
@@ -556,6 +711,7 @@ fn execute(inner: &Inner, request: &AnalyzeRequest, queue_ms: f64) -> String {
 mod tests {
     use super::*;
     use crate::json;
+    use crate::protocol::ERR_OVERLOADED;
 
     fn server(config: ServerConfig) -> Server {
         Server::start(config)
@@ -753,13 +909,111 @@ mod tests {
             workers: 1,
             ..ServerConfig::default()
         });
-        // 1 ms cannot possibly cover a cholesky analysis.
+        // 1 ms cannot possibly cover a cholesky analysis. The client's
+        // timeout and the server's own 90% deadline race: either the
+        // client stops waiting first (`timeout`) or the engine deadline
+        // trips first and its error reaches the client (`resource_limit`).
+        // Both outcomes release the client immediately.
         let response = s.handle_line(r#"{"id": "slow", "kernel": "cholesky", "timeout_ms": 1}"#);
         let doc = json::parse(&response).unwrap();
-        assert_eq!(
-            doc.get("error").unwrap().get("code").unwrap().as_str(),
-            Some(ERR_TIMEOUT)
+        let code = doc.get("error").unwrap().get("code").unwrap().as_str();
+        assert!(
+            code == Some(ERR_TIMEOUT) || code == Some(ERR_RESOURCE_LIMIT),
+            "{response}"
         );
+        s.shutdown();
+    }
+
+    #[test]
+    fn timed_out_requests_free_their_worker_within_a_small_multiple() {
+        // Regression: before cooperative cancellation, a heat-3d-class
+        // request kept its worker busy for the full multi-second analysis
+        // after the client timed out. Now the timeout cancels the in-flight
+        // work at the next engine checkpoint, so the worker must be
+        // observably released within a small multiple of the 100 ms budget.
+        let s = server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let response = s.handle_line(r#"{"id": "hot", "kernel": "heat-3d", "timeout_ms": 100}"#);
+        let doc = json::parse(&response).unwrap();
+        let code = doc.get("error").unwrap().get("code").unwrap().as_str();
+        assert!(
+            code == Some(ERR_TIMEOUT) || code == Some(ERR_RESOURCE_LIMIT),
+            "{response}"
+        );
+        // Within 10× the budget, a stats probe (answered inline, no worker
+        // needed) must show the worker observed the cancellation: either
+        // mid-analysis (cancelled_in_flight / resource_limited / degraded)
+        // or at the reply (abandoned_completed).
+        let released_by = Instant::now() + Duration::from_millis(1000);
+        let released = loop {
+            let stats = s.handle_line(r#"{"op": "stats"}"#);
+            let doc = json::parse(&stats).unwrap();
+            let ss = doc.get("server_stats").unwrap();
+            let count = |key: &str| match ss.get(key) {
+                Some(json::Json::Int(n)) => *n,
+                other => panic!("stats field {key} missing or non-integer: {other:?}"),
+            };
+            if count("cancelled_in_flight")
+                + count("resource_limited")
+                + count("degraded")
+                + count("abandoned_completed")
+                >= 1
+            {
+                break true;
+            }
+            if Instant::now() >= released_by {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert!(released, "the worker never observed the cancellation");
+        // And the freed worker serves a follow-up cheap request.
+        let after = s.handle_line(r#"{"id": "after", "kernel": "gemm"}"#);
+        let doc = json::parse(&after).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"), "{after}");
+        s.shutdown();
+    }
+
+    #[test]
+    fn explicit_budgets_trip_as_resource_limit_and_retire_the_session() {
+        let s = server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        // One FM elimination cannot even compute the input-size term, so
+        // the request fails hard rather than degrading.
+        let response = s.handle_line(r#"{"id": "b", "kernel": "gemm", "budget": {"fm_steps": 1}}"#);
+        let doc = json::parse(&response).unwrap();
+        let error = doc.get("error").unwrap();
+        assert_eq!(
+            error.get("code").unwrap().as_str(),
+            Some(ERR_RESOURCE_LIMIT),
+            "{response}"
+        );
+        assert!(
+            error
+                .get("message")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("fm_steps"),
+            "{response}"
+        );
+        let stats = s.handle_line(r#"{"op": "stats"}"#);
+        let doc = json::parse(&stats).unwrap();
+        let ss = doc.get("server_stats").unwrap();
+        assert_eq!(ss.get("resource_limited"), Some(&json::Json::Int(1)));
+        assert_eq!(
+            ss.get("sessions_retired"),
+            Some(&json::Json::Int(1)),
+            "interrupted sessions are dropped, not pooled"
+        );
+        // An unbudgeted follow-up on the same worker succeeds.
+        let after = s.handle_line(r#"{"id": "ok", "kernel": "gemm"}"#);
+        let doc = json::parse(&after).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"), "{after}");
         s.shutdown();
     }
 

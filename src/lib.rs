@@ -124,16 +124,18 @@ pub use iolb_poly as poly;
 pub use iolb_polybench as polybench;
 pub use iolb_symbol as symbol;
 
-pub use iolb_core::{AnalysisOutcome, Analyzer, Workload};
-pub use iolb_poly::{EngineConfig, EngineCtx};
+pub use iolb_core::{AnalysisOutcome, AnalyzeError, Analyzer, Workload};
+pub use iolb_poly::{Budget, CancelToken, EngineConfig, EngineCtx, EngineInterrupt};
 
 /// Commonly used items, re-exported for examples and downstream users.
 pub mod prelude {
     pub use iolb_core::{
-        analyze, Analysis, AnalysisOptions, AnalysisOutcome, Analyzer, Instance, OiSummary, Regime,
-        Report, Workload,
+        analyze, analyze_interruptible, Analysis, AnalysisOptions, AnalysisOutcome, AnalyzeError,
+        Analyzer, Degradation, Instance, OiSummary, Regime, Report, Workload,
     };
     pub use iolb_dfg::{genpaths, Dfg, GenPathsOptions};
-    pub use iolb_poly::{parse_map, parse_set, EngineConfig, EngineCtx};
+    pub use iolb_poly::{
+        parse_map, parse_set, Budget, CancelToken, EngineConfig, EngineCtx, EngineInterrupt,
+    };
     pub use iolb_symbol::{Expr, Poly};
 }

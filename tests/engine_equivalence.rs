@@ -112,6 +112,42 @@ fn concurrent_sessions_share_no_cache_or_stats_and_agree_with_serial_runs() {
     );
 }
 
+/// The degradation gate: a budget that is installed but never trips must be
+/// *invisible* — `q_low` byte-identical to the unbudgeted run and no
+/// degradation marker — on every kernel. Budget checkpoints sit inside the
+/// FM and counting hot loops, so this is the proof that checking a budget
+/// is observation, not perturbation.
+#[test]
+fn untripped_budgets_leave_q_low_byte_identical_on_every_kernel() {
+    use std::time::Duration;
+    for kernel in iolb::polybench::all_kernels() {
+        let plain = Analyzer::new().parallel(false).analyze(&kernel).unwrap();
+        let budgeted = Analyzer::new()
+            .parallel(false)
+            .deadline(Duration::from_secs(3600))
+            .budget(
+                Budget::none()
+                    .max_fm_steps(u64::MAX)
+                    .max_constraints(usize::MAX)
+                    .max_cache_entries(usize::MAX)
+                    .cancel_token(CancelToken::new()),
+            )
+            .analyze(&kernel)
+            .unwrap();
+        assert_eq!(
+            plain.analysis().q_low.to_string(),
+            budgeted.analysis().q_low.to_string(),
+            "{}: an untripped budget changed the bound",
+            kernel.name
+        );
+        assert!(
+            budgeted.analysis().degradation.is_none(),
+            "{}: an untripped budget reported degradation",
+            kernel.name
+        );
+    }
+}
+
 #[test]
 fn repeated_analysis_in_one_session_is_deterministic_and_warm() {
     // Two runs of the same analysis in one session (second one fully
