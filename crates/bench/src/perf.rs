@@ -85,8 +85,15 @@ pub fn run(filter: &[String]) -> PerfRun {
         println!("serve_throughput: {SERVE_CLIENTS} clients x full suite ...");
         let load = crate::serve::run(SERVE_CLIENTS);
         println!(
-            "serve_throughput: {:.2} req/s, p50 {:.0} ms, p99 {:.0} ms ({} ok / {} requests)",
-            load.req_per_sec, load.p50_ms, load.p99_ms, load.ok, load.requests
+            "serve_throughput: {:.2} req/s, p50 {:.0} ms, p99 {:.0} ms ({} ok / {} requests), \
+             result cache {:.0}% hit, hot p50 {:.3} ms",
+            load.req_per_sec,
+            load.p50_ms,
+            load.p99_ms,
+            load.ok,
+            load.requests,
+            load.hit_rate * 100.0,
+            load.hot_p50_ms
         );
         Some(load)
     } else {

@@ -39,6 +39,16 @@ pub struct ServeThroughput {
     pub cancelled_in_flight: u64,
     /// Successful responses marked `degraded` by a tripped work budget.
     pub degraded: u64,
+    /// Responses served from the result cache across both passes (the
+    /// concurrent load run coalesces/hits on repeated kernels; the hot
+    /// replay pass should be all hits).
+    pub cached_responses: usize,
+    /// Result-cache hit rate from the daemon's own counters:
+    /// (hits + coalesced + disk hits) / (those + misses).
+    pub hit_rate: f64,
+    /// Median latency of the hot replay pass — every kernel re-requested
+    /// once after the load run, so this is the pure cache-service path.
+    pub hot_p50_ms: f64,
 }
 
 /// Reads one integer counter out of a `{"op": "stats"}` response line.
@@ -53,6 +63,16 @@ fn stats_counter(stats_line: &str, key: &str) -> u64 {
         .collect::<String>()
         .parse()
         .unwrap_or(0)
+}
+
+/// Reads one integer counter out of the nested `"result_cache"` object of a
+/// stats line (the pool object reuses key names like `hits`, so the plain
+/// [`stats_counter`] would find the wrong one).
+fn result_cache_counter(stats_line: &str, key: &str) -> u64 {
+    match stats_line.find("\"result_cache\":") {
+        Some(at) => stats_counter(&stats_line[at..], key),
+        None => 0,
+    }
 }
 
 /// Nearest-rank percentile of an ascending-sorted latency sample.
@@ -77,6 +97,7 @@ pub fn run(clients: usize) -> ServeThroughput {
         queue_capacity: clients.max(1) * kernels.len(),
         pool_capacity: 8,
         default_timeout_ms: 600_000,
+        ..ServerConfig::default()
     }));
 
     let start = Instant::now();
@@ -88,6 +109,7 @@ pub fn run(clients: usize) -> ServeThroughput {
                 let mut latencies_ms: Vec<f64> = Vec::with_capacity(kernels.len());
                 let mut ok = 0usize;
                 let mut warm = 0usize;
+                let mut cached = 0usize;
                 for i in 0..kernels.len() {
                     let kernel = &kernels[(i + c * 7) % kernels.len()];
                     let sent = Instant::now();
@@ -101,8 +123,11 @@ pub fn run(clients: usize) -> ServeThroughput {
                     if response.contains("\"session_warm\":true") {
                         warm += 1;
                     }
+                    if response.contains("\"cached\":true") {
+                        cached += 1;
+                    }
                 }
-                (latencies_ms, ok, warm)
+                (latencies_ms, ok, warm, cached)
             })
         })
         .collect();
@@ -110,19 +135,46 @@ pub fn run(clients: usize) -> ServeThroughput {
     let mut latencies_ms: Vec<f64> = Vec::new();
     let mut ok = 0usize;
     let mut warm = 0usize;
+    let mut cached_responses = 0usize;
     for handle in handles {
-        let (lat, client_ok, client_warm) = handle.join().expect("load client");
+        let (lat, client_ok, client_warm, client_cached) = handle.join().expect("load client");
         latencies_ms.extend(lat);
         ok += client_ok;
         warm += client_warm;
+        cached_responses += client_cached;
     }
     let seconds = start.elapsed().as_secs_f64();
+
+    // Hot replay pass: with the whole suite now resident in the result
+    // cache, re-request every kernel once and time the pure cache-service
+    // path (fingerprint → lookup → render). Kept out of the load-run
+    // latency sample so the cold numbers stay comparable across versions.
+    let mut hot_ms: Vec<f64> = Vec::with_capacity(kernels.len());
+    for (i, kernel) in kernels.iter().enumerate() {
+        let sent = Instant::now();
+        let response = server.handle_line(&format!(r#"{{"id": "hot-{i}", "kernel": "{kernel}"}}"#));
+        hot_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+        if response.contains("\"cached\":true") {
+            cached_responses += 1;
+        }
+    }
+    hot_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
     // Robustness counters for the perf record: a healthy full-suite load
     // run reports zeroes; non-zero values flag budget/cancellation churn.
     let stats_line = server.handle_line(r#"{"op": "stats"}"#);
     let timeouts = stats_counter(&stats_line, "timeouts");
     let cancelled_in_flight = stats_counter(&stats_line, "cancelled_in_flight");
     let degraded = stats_counter(&stats_line, "degraded");
+    let rc_served = result_cache_counter(&stats_line, "hits")
+        + result_cache_counter(&stats_line, "inflight_coalesced")
+        + result_cache_counter(&stats_line, "disk_hits");
+    let rc_misses = result_cache_counter(&stats_line, "misses");
+    let hit_rate = if rc_served + rc_misses > 0 {
+        rc_served as f64 / (rc_served + rc_misses) as f64
+    } else {
+        0.0
+    };
     server.shutdown();
 
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -144,6 +196,9 @@ pub fn run(clients: usize) -> ServeThroughput {
         timeouts,
         cancelled_in_flight,
         degraded,
+        cached_responses,
+        hit_rate,
+        hot_p50_ms: percentile(&hot_ms, 0.50),
     }
 }
 
@@ -157,7 +212,8 @@ impl ServeThroughput {
              \"wall_clock_seconds\": {:.6},\n    \"requests_per_second\": {:.3},\n    \
              \"p50_latency_ms\": {:.3},\n    \"p99_latency_ms\": {:.3},\n    \
              \"timeouts\": {},\n    \"cancelled_in_flight\": {},\n    \
-             \"degraded\": {}\n  }}",
+             \"degraded\": {},\n    \"cached_responses\": {},\n    \
+             \"result_cache_hit_rate\": {:.3},\n    \"hot_p50_ms\": {:.4}\n  }}",
             self.clients,
             self.requests,
             self.ok,
@@ -170,6 +226,9 @@ impl ServeThroughput {
             self.timeouts,
             self.cancelled_in_flight,
             self.degraded,
+            self.cached_responses,
+            self.hit_rate,
+            self.hot_p50_ms,
         )
     }
 }
@@ -203,6 +262,9 @@ mod tests {
             timeouts: 1,
             cancelled_in_flight: 1,
             degraded: 2,
+            cached_responses: 110,
+            hit_rate: 0.75,
+            hot_p50_ms: 0.25,
         };
         let json = row.to_json_object();
         assert!(json.contains("\"requests_per_second\": 12.000"));
@@ -210,6 +272,9 @@ mod tests {
         assert!(json.contains("\"timeouts\": 1"));
         assert!(json.contains("\"cancelled_in_flight\": 1"));
         assert!(json.contains("\"degraded\": 2"));
+        assert!(json.contains("\"cached_responses\": 110"));
+        assert!(json.contains("\"result_cache_hit_rate\": 0.750"));
+        assert!(json.contains("\"hot_p50_ms\": 0.2500"));
         let open = json.matches('{').count();
         assert_eq!(open, json.matches('}').count());
     }
@@ -221,5 +286,15 @@ mod tests {
         assert_eq!(stats_counter(line, "cancelled_in_flight"), 2);
         assert_eq!(stats_counter(line, "degraded"), 10);
         assert_eq!(stats_counter(line, "no_such_field"), 0);
+    }
+
+    #[test]
+    fn result_cache_counters_skip_the_pool_object() {
+        let line = r#"{"status":"ok","server_stats":{"pool":{"hits":9,"misses":9},"result_cache":{"enabled":true,"hits":4,"misses":2,"inflight_coalesced":3,"disk_hits":1}}"#;
+        assert_eq!(result_cache_counter(line, "hits"), 4);
+        assert_eq!(result_cache_counter(line, "misses"), 2);
+        assert_eq!(result_cache_counter(line, "inflight_coalesced"), 3);
+        assert_eq!(result_cache_counter(line, "disk_hits"), 1);
+        assert_eq!(result_cache_counter(r#"{"no_cache":true}"#, "hits"), 0);
     }
 }

@@ -42,10 +42,15 @@
 use crate::bound::Instance;
 use crate::driver::{analyze_interruptible, Analysis, AnalysisOptions};
 use crate::report::Report;
+use crate::result_cache::{AnalysisFingerprint, Claim, ResultCache, Tier};
 use crate::workload::{PreparedWorkload, Workload, WorkloadError};
 use iolb_poly::{stats::Snapshot, Budget, EngineConfig, EngineCtx, EngineInterrupt};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Domain tag separating analysis fingerprints from every other fingerprint
+/// family derived from [`iolb_poly::fxhash`].
+const ANALYSIS_FINGERPRINT_TAG: u64 = 0x1016_0cac_4e51_0150;
 
 /// Why [`Analyzer::analyze`] failed to produce any valid bound.
 #[derive(Clone, Debug)]
@@ -91,6 +96,7 @@ pub struct Analyzer {
     options_override: Option<AnalysisOptions>,
     deadline: Option<Duration>,
     budget: Option<Budget>,
+    result_cache: Option<Arc<ResultCache>>,
 }
 
 impl Analyzer {
@@ -188,6 +194,118 @@ impl Analyzer {
     pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = Some(budget);
         self
+    }
+
+    /// Serves repeats through a content-addressed result cache: see
+    /// [`Analyzer::analyze_cached`]. The plain [`Analyzer::analyze`] path
+    /// ignores the cache entirely.
+    pub fn result_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.result_cache = Some(cache);
+        self
+    }
+
+    /// The **analysis fingerprint** of this request: a 128-bit content
+    /// address over everything that determines the serialized report —
+    /// the workload's canonical key ([`Workload::cache_key`]), the
+    /// result-shaping builder knobs (depth, cache parameter and size,
+    /// params folded last-wins, assumptions as a sorted set), the report
+    /// [`SCHEMA_VERSION`](crate::report::SCHEMA_VERSION) and the engine
+    /// version. Equal fingerprints promise byte-identical reports.
+    ///
+    /// Deliberately **excluded**, because they cannot change the bytes of a
+    /// cacheable report: `parallel` (the parallel driver is byte-equivalent
+    /// to the serial one by construction — pinned by the engine-equivalence
+    /// suite), the session query-cache knobs (memoization is
+    /// result-invariant), and deadlines/budgets (degraded results are never
+    /// cached, so a budgeted and an un-budgeted request may share an
+    /// entry).
+    ///
+    /// `None` — the request is uncacheable — when the workload has no
+    /// canonical key or when [`Analyzer::options`] replaced the derived
+    /// options wholesale (explicit options carry session-bound context).
+    pub fn fingerprint<W: Workload + ?Sized>(&self, workload: &W) -> Option<AnalysisFingerprint> {
+        if self.options_override.is_some() {
+            return None;
+        }
+        let key = workload.cache_key()?;
+        let mut fp = iolb_poly::fxhash::Fingerprint::new(ANALYSIS_FINGERPRINT_TAG);
+        fp.add(&crate::report::SCHEMA_VERSION);
+        fp.add(&env!("CARGO_PKG_VERSION"));
+        fp.add(&key);
+        fp.add(&self.depth);
+        fp.add(&self.cache_param);
+        fp.add(&self.cache_size);
+        // Canonicalize: repeated `.param()` calls fold last-wins (that is
+        // how `resolve_options` applies them), and assumption order is
+        // irrelevant (conjunction), so both hash as sorted collections.
+        let params: std::collections::BTreeMap<&str, i128> = self
+            .param_values
+            .iter()
+            .map(|(name, value)| (name.as_str(), *value))
+            .collect();
+        fp.add(&params);
+        let assumptions: std::collections::BTreeSet<(&str, i128)> = self
+            .assumptions
+            .iter()
+            .map(|(name, value)| (name.as_str(), *value))
+            .collect();
+        fp.add(&assumptions);
+        Some(AnalysisFingerprint::from_raw(fp.finish()))
+    }
+
+    /// Like [`Analyzer::analyze`], but consults the configured
+    /// [result cache](Analyzer::result_cache) first. A cached reply carries
+    /// the exact serialized document of the run that produced it —
+    /// byte-identical to computing fresh. Concurrent identical requests
+    /// coalesce into one computation (singleflight). Degraded or
+    /// interrupted outcomes are never stored; a failed or degraded leader
+    /// hands its waiters back to the claim loop so a later, un-budgeted
+    /// request recomputes in full.
+    pub fn analyze_cached<W: Workload + ?Sized>(
+        &self,
+        workload: &W,
+    ) -> Result<AnalysisReply, AnalyzeError> {
+        let Some(cache) = &self.result_cache else {
+            return Ok(AnalysisReply::Computed {
+                outcome: Box::new(self.analyze(workload)?),
+                fingerprint: None,
+            });
+        };
+        let Some(fingerprint) = self.fingerprint(workload) else {
+            return Ok(AnalysisReply::Computed {
+                outcome: Box::new(self.analyze(workload)?),
+                fingerprint: None,
+            });
+        };
+        match cache.claim(fingerprint) {
+            Claim::Hit(hit) => Ok(AnalysisReply::Cached {
+                json: hit.json,
+                fingerprint,
+                tier: hit.tier,
+                coalesced: false,
+            }),
+            Claim::Coalesced(hit) => Ok(AnalysisReply::Cached {
+                json: hit.json,
+                fingerprint,
+                tier: hit.tier,
+                coalesced: true,
+            }),
+            Claim::Leader(guard) => {
+                // An error or panic drops the guard, which wakes the
+                // waiters empty-handed — nothing is ever cached on those
+                // paths.
+                let outcome = self.analyze(workload)?;
+                if outcome.analysis().degradation.is_none() {
+                    guard.publish(Arc::new(outcome.to_json()));
+                } else {
+                    drop(guard);
+                }
+                Ok(AnalysisReply::Computed {
+                    outcome: Box::new(outcome),
+                    fingerprint: Some(fingerprint),
+                })
+            }
+        }
     }
 
     /// Generic defaults for a user program over `params`: every parameter
@@ -415,6 +533,65 @@ impl AnalysisOutcome {
         }
         out.push_str("\n}\n");
         out
+    }
+}
+
+/// What [`Analyzer::analyze_cached`] produced: a fresh computation (with
+/// the live [`AnalysisOutcome`]) or a cached document.
+pub enum AnalysisReply {
+    /// Computed in this request. `fingerprint` is `Some` when the request
+    /// was cacheable (and, for clean results, the document is now stored).
+    Computed {
+        /// The live outcome (boxed: an `AnalysisOutcome` is large, and the
+        /// `Cached` variant is two words).
+        outcome: Box<AnalysisOutcome>,
+        /// The request's content address, when cacheable.
+        fingerprint: Option<AnalysisFingerprint>,
+    },
+    /// Served from the result cache (or a coalesced leader computation):
+    /// the exact serialized document of the producing run.
+    Cached {
+        /// The cached `AnalysisOutcome::to_json` document.
+        json: Arc<String>,
+        /// The request's content address.
+        fingerprint: AnalysisFingerprint,
+        /// Which tier served it.
+        tier: Tier,
+        /// Whether this request waited on a concurrent leader
+        /// (singleflight) rather than reading a stored entry.
+        coalesced: bool,
+    },
+}
+
+impl AnalysisReply {
+    /// Whether the reply was served without computing.
+    pub fn cached(&self) -> bool {
+        matches!(self, AnalysisReply::Cached { .. })
+    }
+
+    /// The request's content address, when it was cacheable.
+    pub fn fingerprint(&self) -> Option<AnalysisFingerprint> {
+        match self {
+            AnalysisReply::Computed { fingerprint, .. } => *fingerprint,
+            AnalysisReply::Cached { fingerprint, .. } => Some(*fingerprint),
+        }
+    }
+
+    /// The live outcome, for freshly computed replies.
+    pub fn outcome(&self) -> Option<&AnalysisOutcome> {
+        match self {
+            AnalysisReply::Computed { outcome, .. } => Some(outcome.as_ref()),
+            AnalysisReply::Cached { .. } => None,
+        }
+    }
+
+    /// The serialized JSON document — byte-identical whether computed or
+    /// cached.
+    pub fn to_json(&self) -> String {
+        match self {
+            AnalysisReply::Computed { outcome, .. } => outcome.to_json(),
+            AnalysisReply::Cached { json, .. } => (**json).clone(),
+        }
     }
 }
 

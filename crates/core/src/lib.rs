@@ -82,12 +82,16 @@ pub mod par;
 pub mod partition;
 pub mod pool;
 pub mod report;
+pub mod result_cache;
 pub mod wavefront;
 pub mod workload;
 
-pub use analyzer::{AnalysisOutcome, AnalyzeError, Analyzer};
+pub use analyzer::{AnalysisOutcome, AnalysisReply, AnalyzeError, Analyzer};
 pub use bound::{Instance, LowerBound, Technique};
 pub use driver::{analyze, analyze_interruptible, Analysis, AnalysisOptions, Degradation};
 pub use oi::{OiSummary, Regime};
 pub use report::Report;
+pub use result_cache::{
+    AnalysisFingerprint, DiskTierConfig, ResultCache, ResultCacheConfig, ResultCacheStats,
+};
 pub use workload::{PreparedWorkload, Workload, WorkloadError};

@@ -66,6 +66,22 @@ impl std::error::Error for WorkloadError {}
 pub trait Workload {
     /// Builds the DFG and metadata. Called inside the analysis session.
     fn prepare(&self) -> Result<PreparedWorkload, WorkloadError>;
+
+    /// A **canonical, session-independent** serialization of this workload
+    /// for content-addressed result caching
+    /// ([`crate::result_cache::ResultCache`]), or `None` to opt out.
+    ///
+    /// The contract: two workloads with equal keys must prepare to the same
+    /// DFG, metadata and tuned options — byte-identical reports under equal
+    /// [`crate::Analyzer`] knobs. Canonical means semantically irrelevant
+    /// spelling differences (whitespace, comments) map to the same key.
+    /// The default opts out, which is always safe: workloads without a key
+    /// bypass the result cache and are computed fresh. Session-bound
+    /// workloads (raw [`Dfg`]s, pre-lowered programs) must stay opted out —
+    /// their identity lives in interned engine state, not in the value.
+    fn cache_key(&self) -> Option<String> {
+        None
+    }
 }
 
 /// The parameters mentioned by a DFG (union over every node domain and edge

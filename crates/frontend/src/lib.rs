@@ -241,10 +241,26 @@ fn prepare_lowered(
     })
 }
 
+/// The canonical content-address component of an affine-C program: the
+/// report name plus the AST pretty-printed back to source. Parsing strips
+/// whitespace and comments, and the printer has one spelling per construct,
+/// so any two texts that parse to the same program share a key — while any
+/// semantic edit (a bound, an access function, an array name) changes it.
+/// Programs that do not parse return `None` and bypass the result cache
+/// (they would fail preparation anyway).
+fn canonical_key(name: &str, src: &str) -> Option<String> {
+    let program = parse(src).ok()?;
+    Some(format!("iolb:{name}\n{program}"))
+}
+
 impl iolb_core::Workload for IolbSource {
     fn prepare(&self) -> Result<iolb_core::PreparedWorkload, iolb_core::WorkloadError> {
         let program = compile(&self.src).map_err(iolb_core::WorkloadError::new)?;
         prepare_lowered(&self.name, &program)
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        canonical_key(&self.name, &self.src)
     }
 }
 
@@ -261,6 +277,19 @@ impl iolb_core::Workload for IolbFile {
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| path.display().to_string());
         prepare_lowered(&name, &program)
+    }
+
+    /// Keyed by (file stem, canonical program) — *not* by path, so a file
+    /// and an equal [`IolbSource`] under the same name share cache entries,
+    /// and editing the file changes the key.
+    fn cache_key(&self) -> Option<String> {
+        let path = &self.0;
+        let src = std::fs::read_to_string(path).ok()?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        canonical_key(&name, &src)
     }
 }
 

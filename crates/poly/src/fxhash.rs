@@ -118,6 +118,27 @@ pub fn fingerprint(value: &impl Hash) -> u128 {
     fp.finish()
 }
 
+/// Renders a 128-bit fingerprint as 32 lowercase hex digits — the canonical
+/// wire and on-disk spelling (content-addressed cache keys, entry file
+/// names).
+pub fn to_hex(fp: u128) -> String {
+    format!("{fp:032x}")
+}
+
+/// Parses the canonical 32-digit hex spelling back to a fingerprint.
+/// Anything else (wrong length, uppercase, stray characters) is rejected,
+/// so foreign files can never alias a cache key.
+pub fn from_hex(s: &str) -> Option<u128> {
+    if s.len() != 32
+        || !s
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u128::from_str_radix(s, 16).ok()
+}
+
 /// A pass-through hasher for maps and sets whose keys are already
 /// [`fingerprint`]s: the key's low 64 bits are uniform, so re-hashing them
 /// with SipHash (the `HashMap` default) is pure overhead.
@@ -172,5 +193,16 @@ mod tests {
     #[test]
     fn short_writes_depend_on_length() {
         assert_ne!(fingerprint(&[0u8; 3]), fingerprint(&[0u8; 4]));
+    }
+
+    #[test]
+    fn hex_spelling_is_canonical() {
+        let fp = 0xdead_beef_u128;
+        let hex = to_hex(fp);
+        assert_eq!(hex.len(), 32);
+        assert_eq!(from_hex(&hex), Some(fp));
+        assert_eq!(from_hex(&hex.to_uppercase()), None, "uppercase rejected");
+        assert_eq!(from_hex(&hex[1..]), None, "short strings rejected");
+        assert_eq!(from_hex(&format!("{hex}0")), None, "long strings rejected");
     }
 }

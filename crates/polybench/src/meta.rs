@@ -83,6 +83,13 @@ impl iolb_core::Workload for Kernel {
             dfg: fresh.dfg,
         })
     }
+
+    /// Built-in kernels are canonical by name: `prepare` rebuilds the DFG
+    /// and tuned options purely from it, so the name alone is a sound
+    /// content-address component.
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("kernel:{}", self.name))
+    }
 }
 
 impl Kernel {

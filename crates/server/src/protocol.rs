@@ -411,6 +411,20 @@ pub struct ServiceTimings {
     pub pool_sessions: usize,
 }
 
+/// Result-cache provenance of a successful response, rendered as the
+/// top-level `cached` / `fingerprint` fields.
+#[derive(Clone, Debug, Default)]
+pub struct CacheInfo {
+    /// Whether the report was served from the result cache — a stored
+    /// entry (memory or disk) or a coalesced in-flight computation —
+    /// rather than computed by this request.
+    pub cached: bool,
+    /// The request's analysis fingerprint (32 hex digits), present
+    /// whenever the request was cacheable. Equal fingerprints promise
+    /// byte-identical `report` documents.
+    pub fingerprint: Option<String>,
+}
+
 /// How far a degraded analysis got before its budget tripped; rendered as
 /// the top-level `degraded`/`budget` fields of a successful response.
 #[derive(Clone, Copy, Debug)]
@@ -435,6 +449,7 @@ pub fn ok_response(
     report_json: &str,
     timings: &ServiceTimings,
     degraded: Option<DegradedInfo<'_>>,
+    cache: &CacheInfo,
 ) -> String {
     let degraded = match degraded {
         None => String::new(),
@@ -445,8 +460,13 @@ pub fn ok_response(
             d.sweep_total,
         ),
     };
+    let fingerprint = match &cache.fingerprint {
+        Some(fp) => format!(",\"fingerprint\":{}", json::escape(fp)),
+        None => String::new(),
+    };
     format!(
-        "{{\"id\":{id},\"status\":\"ok\",\"report\":{},\"server\":{{\"queue_ms\":{:.3},\"service_ms\":{:.3},\"analysis_ms\":{:.3},\"session_warm\":{},\"pool_sessions\":{}}}{degraded}}}",
+        "{{\"id\":{id},\"status\":\"ok\",\"cached\":{},\"report\":{},\"server\":{{\"queue_ms\":{:.3},\"service_ms\":{:.3},\"analysis_ms\":{:.3},\"session_warm\":{},\"pool_sessions\":{}}}{fingerprint}{degraded}}}",
+        cache.cached,
         json::compact(report_json).trim_end(),
         timings.queue_ms,
         timings.service_ms,
@@ -621,10 +641,18 @@ mod tests {
             session_warm: true,
             pool_sessions: 3,
         };
-        let ok = ok_response("\"r1\"", "{\n  \"schema_version\": 1\n}\n", &timings, None);
+        let ok = ok_response(
+            "\"r1\"",
+            "{\n  \"schema_version\": 1\n}\n",
+            &timings,
+            None,
+            &CacheInfo::default(),
+        );
         assert!(!ok.contains('\n'));
         let doc = crate::json::parse(&ok).unwrap();
         assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(doc.get("cached"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("fingerprint"), None, "uncacheable: no fingerprint");
         assert_eq!(
             doc.get("report").unwrap().get("schema_version"),
             Some(&Json::Int(1))
@@ -659,7 +687,13 @@ mod tests {
             sweep_completed: 3,
             sweep_total: 8,
         };
-        let line = ok_response("1", "{\"schema_version\": 1}", &timings, Some(degraded));
+        let line = ok_response(
+            "1",
+            "{\"schema_version\": 1}",
+            &timings,
+            Some(degraded),
+            &CacheInfo::default(),
+        );
         assert!(!line.contains('\n'));
         let doc = crate::json::parse(&line).unwrap();
         assert_eq!(doc.get("status").unwrap().as_str(), Some("ok"));

@@ -33,12 +33,13 @@
 //! joined once the queue is empty.
 
 use crate::protocol::{
-    self, ok_response, overloaded_response, parse_request, AnalyzeRequest, DegradedInfo, Request,
-    ServiceTimings, WorkloadSpec, ERR_RESOURCE_LIMIT, ERR_SHUTTING_DOWN, ERR_TIMEOUT,
+    self, ok_response, overloaded_response, parse_request, AnalyzeRequest, CacheInfo, DegradedInfo,
+    Request, ServiceTimings, WorkloadSpec, ERR_RESOURCE_LIMIT, ERR_SHUTTING_DOWN, ERR_TIMEOUT,
     ERR_UNKNOWN_KERNEL, ERR_WORKLOAD,
 };
 use iolb_core::pool::SessionPool;
-use iolb_core::{AnalyzeError, Analyzer};
+use iolb_core::result_cache::Claim;
+use iolb_core::{AnalyzeError, Analyzer, DiskTierConfig, ResultCache, ResultCacheConfig, Workload};
 use iolb_poly::{Budget, CancelToken, EngineConfig, EngineInterrupt};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
@@ -65,6 +66,15 @@ pub struct ServerConfig {
     /// Timeout applied to requests that carry no `timeout_ms` of their own
     /// (default 120 000 ms).
     pub default_timeout_ms: u64,
+    /// In-memory result-cache entries (default 2048). With `cache_dir`
+    /// unset, 0 disables the result cache entirely: every request
+    /// computes, as before PR 6.
+    pub result_cache_entries: usize,
+    /// Optional disk tier for the result cache: cached reports survive
+    /// daemon restarts (`iolb serve --cache-dir`).
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Disk-tier byte bound (default 256 MiB; `iolb serve --cache-bytes`).
+    pub cache_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +86,9 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             pool_capacity: 8,
             default_timeout_ms: 120_000,
+            result_cache_entries: 2048,
+            cache_dir: None,
+            cache_bytes: 256 << 20,
         }
     }
 }
@@ -126,6 +139,9 @@ struct Metrics {
 struct Inner {
     config: ServerConfig,
     pool: SessionPool,
+    /// The content-addressed result cache, `None` when disabled
+    /// (`result_cache_entries == 0` and no `cache_dir`).
+    result_cache: Option<Arc<ResultCache>>,
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
     draining: AtomicBool,
@@ -171,8 +187,37 @@ impl Server {
             queue_capacity: config.queue_capacity.max(1),
             ..config
         };
+        let result_cache = if config.result_cache_entries == 0 && config.cache_dir.is_none() {
+            None
+        } else {
+            let cache_config = ResultCacheConfig {
+                memory_entries: config.result_cache_entries,
+                disk: config.cache_dir.clone().map(|dir| DiskTierConfig {
+                    dir,
+                    max_bytes: config.cache_bytes,
+                }),
+                ..ResultCacheConfig::default()
+            };
+            match ResultCache::new(cache_config) {
+                Ok(cache) => Some(cache),
+                Err(e) => {
+                    // An unusable cache directory degrades to memory-only
+                    // serving rather than refusing to start: the cache is
+                    // an accelerator, not a dependency.
+                    eprintln!("warning: result-cache disk tier disabled: {e}");
+                    Some(
+                        ResultCache::new(ResultCacheConfig {
+                            memory_entries: config.result_cache_entries,
+                            ..ResultCacheConfig::default()
+                        })
+                        .expect("memory-only cache cannot fail"),
+                    )
+                }
+            }
+        };
         let inner = Arc::new(Inner {
             pool: SessionPool::new(config.pool_capacity),
+            result_cache,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             draining: AtomicBool::new(false),
@@ -306,6 +351,11 @@ impl Server {
         let inner = &*self.inner;
         let m = &inner.metrics;
         let pool = inner.pool.stats();
+        let rc = inner
+            .result_cache
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default();
         format!(
             "{{\"id\":{id},\"status\":\"ok\",\"server_stats\":{{\
              \"workers\":{},\"queue_capacity\":{},\"queue_depth\":{},\"draining\":{},\
@@ -314,7 +364,10 @@ impl Server {
              \"abandoned_completed\":{},\"cancelled_in_flight\":{},\"degraded\":{},\
              \"resource_limited\":{},\"sessions_retired\":{},\
              \"pool\":{{\"capacity\":{},\"idle_sessions\":{},\"hits\":{},\"misses\":{},\
-             \"evictions\":{},\"retired\":{}}}}}}}",
+             \"evictions\":{},\"retired\":{}}},\
+             \"result_cache\":{{\"enabled\":{},\"entries\":{},\"hits\":{},\"misses\":{},\
+             \"inflight_coalesced\":{},\"disk_hits\":{},\"evictions\":{},\
+             \"disk_evictions\":{},\"disk_corrupt\":{},\"stores\":{},\"uncacheable\":{}}}}}}}",
             inner.config.workers,
             inner.config.queue_capacity,
             inner.queue.lock().unwrap().len(),
@@ -336,6 +389,21 @@ impl Server {
             pool.misses,
             pool.evictions,
             pool.retired,
+            inner.result_cache.is_some(),
+            inner
+                .result_cache
+                .as_ref()
+                .map(|c| c.memory_len())
+                .unwrap_or(0),
+            rc.hits,
+            rc.misses,
+            rc.inflight_coalesced,
+            rc.disk_hits,
+            rc.evictions,
+            rc.disk_evictions,
+            rc.disk_corrupt,
+            rc.stores,
+            rc.uncacheable,
         )
     }
 
@@ -548,11 +616,99 @@ fn worker_loop(inner: &Arc<Inner>) {
     }
 }
 
-/// Runs one analysis in a pooled session and renders the response line.
+/// Runs one analysis and renders the response line.
+///
+/// Order matters for the stats satellite fix: the result-cache claim runs
+/// **before** any session checkout, so requests served from the cache (or
+/// coalesced onto an in-flight leader) never touch the [`SessionPool`] —
+/// only the leader's computation registers a pool hit/miss, and coalesced
+/// waiters are counted under `inflight_coalesced` alone.
 fn execute(inner: &Inner, job: &Job, queue_ms: f64) -> String {
     let request = &job.request;
     let id = request.id.render();
     let started = Instant::now();
+
+    // Resolve the workload before anything costly: an unknown kernel must
+    // not consume a session, and fingerprinting needs the workload value.
+    let workload: Box<dyn Workload> = match &request.workload {
+        WorkloadSpec::Kernel(name) => match iolb_polybench::kernel_by_name(name) {
+            Some(kernel) => Box::new(kernel),
+            None => {
+                inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                return protocol::error_response(
+                    &id,
+                    ERR_UNKNOWN_KERNEL,
+                    &format!("unknown kernel \"{name}\" (see `iolb kernels` for the list)"),
+                );
+            }
+        },
+        WorkloadSpec::Source(text) => Box::new(iolb_frontend::IolbSource::new(text)),
+        WorkloadSpec::Path(path) => Box::new(iolb_frontend::IolbFile::new(path)),
+    };
+
+    // The result-shaping knobs, applied before fingerprinting (budget and
+    // engine attach later — neither participates in the fingerprint).
+    let mut analyzer = Analyzer::new().parallel(request.parallel);
+    if let Some(depth) = request.depth {
+        analyzer = analyzer.max_parametrization_depth(depth);
+    } else if !matches!(request.workload, WorkloadSpec::Kernel(_)) {
+        // User programs default to the global analysis, like `iolb analyze`
+        // (built-in kernels keep their tuned depth).
+        analyzer = analyzer.max_parametrization_depth(0);
+    }
+    if let Some(cache_param) = &request.cache_param {
+        analyzer = analyzer.cache_param(cache_param.clone());
+    }
+    if let Some(cache_size) = request.cache_size {
+        analyzer = analyzer.cache_size(cache_size);
+    }
+    for (name, value) in &request.params {
+        analyzer = analyzer.param(name.clone(), *value);
+    }
+
+    let fingerprint = inner
+        .result_cache
+        .as_ref()
+        .and_then(|_| analyzer.fingerprint(workload.as_ref()));
+    let fingerprint_hex = fingerprint.map(|fp| fp.to_hex());
+    // `Some` exactly when this request must compute *and* publish (or
+    // abandon, on every non-clean path — including panics, via `Drop`).
+    let mut leader = None;
+    if let (Some(cache), Some(fp)) = (&inner.result_cache, fingerprint) {
+        match cache.claim(fp) {
+            Claim::Hit(hit) | Claim::Coalesced(hit) => {
+                inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                let service_ms = started.elapsed().as_secs_f64() * 1e3;
+                inner
+                    .metrics
+                    .service_us
+                    .fetch_add((service_ms * 1e3) as u64, Ordering::Relaxed);
+                inner
+                    .metrics
+                    .service_samples
+                    .fetch_add(1, Ordering::Relaxed);
+                let timings = ServiceTimings {
+                    queue_ms,
+                    service_ms,
+                    // No driver ran for this request; `session_warm` refers
+                    // to a session it never used.
+                    analysis_ms: 0.0,
+                    session_warm: false,
+                    pool_sessions: inner.pool.len(),
+                };
+                let cache_info = CacheInfo {
+                    cached: true,
+                    fingerprint: fingerprint_hex,
+                };
+                // Cached entries are never degraded (degraded results are
+                // never stored), so the degraded marker is always absent.
+                // Which tier served (memory/disk/coalesced) is visible in
+                // the stats counters.
+                return ok_response(&id, &hit.json, &timings, None, &cache_info);
+            }
+            Claim::Leader(guard) => leader = Some(guard),
+        }
+    }
 
     let mut engine_config = EngineConfig::default();
     if let Some(cap) = request.cache_cap {
@@ -583,44 +739,9 @@ fn execute(inner: &Inner, job: &Job, queue_ms: f64) -> String {
             budget = budget.max_cache_entries(n);
         }
     }
+    let analyzer = analyzer.engine(checkout.engine.clone()).budget(budget);
 
-    let mut analyzer = Analyzer::new()
-        .engine(checkout.engine.clone())
-        .budget(budget)
-        .parallel(request.parallel);
-    if let Some(depth) = request.depth {
-        analyzer = analyzer.max_parametrization_depth(depth);
-    } else if !matches!(request.workload, WorkloadSpec::Kernel(_)) {
-        // User programs default to the global analysis, like `iolb analyze`
-        // (built-in kernels keep their tuned depth).
-        analyzer = analyzer.max_parametrization_depth(0);
-    }
-    if let Some(cache_param) = &request.cache_param {
-        analyzer = analyzer.cache_param(cache_param.clone());
-    }
-    if let Some(cache_size) = request.cache_size {
-        analyzer = analyzer.cache_size(cache_size);
-    }
-    for (name, value) in &request.params {
-        analyzer = analyzer.param(name.clone(), *value);
-    }
-
-    let outcome = match &request.workload {
-        WorkloadSpec::Kernel(name) => match iolb_polybench::kernel_by_name(name) {
-            Some(kernel) => analyzer.analyze(&kernel),
-            None => {
-                inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
-                inner.pool.checkin(checkout.engine);
-                return protocol::error_response(
-                    &id,
-                    ERR_UNKNOWN_KERNEL,
-                    &format!("unknown kernel \"{name}\" (see `iolb kernels` for the list)"),
-                );
-            }
-        },
-        WorkloadSpec::Source(text) => analyzer.analyze(&iolb_frontend::IolbSource::new(text)),
-        WorkloadSpec::Path(path) => analyzer.analyze(&iolb_frontend::IolbFile::new(path)),
-    };
+    let outcome = analyzer.analyze(workload.as_ref());
 
     let (response, interrupted) = match outcome {
         Ok(outcome) => {
@@ -656,8 +777,19 @@ fn execute(inner: &Inner, job: &Job, queue_ms: f64) -> String {
                 }
             });
             let interrupted = degraded.is_some();
+            let report_json = outcome.to_json();
+            match leader.take() {
+                // Only full results are published; a degraded leader is
+                // dropped, which wakes its waiters to recompute.
+                Some(guard) if !interrupted => guard.publish(Arc::new(report_json.clone())),
+                _ => {}
+            }
+            let cache_info = CacheInfo {
+                cached: false,
+                fingerprint: fingerprint_hex.clone(),
+            };
             (
-                ok_response(&id, &outcome.to_json(), &timings, degraded),
+                ok_response(&id, &report_json, &timings, degraded, &cache_info),
                 interrupted,
             )
         }
@@ -744,8 +876,11 @@ mod tests {
 
     #[test]
     fn repeat_requests_reuse_warm_sessions() {
+        // Result cache off: this test is about the *session* pool, and a
+        // cached second reply would never touch a session at all.
         let s = server(ServerConfig {
             workers: 1,
+            result_cache_entries: 0,
             ..ServerConfig::default()
         });
         let first = s.handle_line(r#"{"kernel": "gemm"}"#);
@@ -807,6 +942,36 @@ mod tests {
                 .contains("non-affine"),
             "front-end diagnostics pass through"
         );
+        s.shutdown();
+    }
+
+    #[test]
+    fn repeat_requests_are_served_from_the_result_cache() {
+        let s = server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let first = s.handle_line(r#"{"kernel": "gemm"}"#);
+        let second = s.handle_line(r#"{"kernel": "gemm"}"#);
+        let parse = |r: &str| json::parse(r).unwrap();
+        let (d1, d2) = (parse(&first), parse(&second));
+        assert_eq!(d1.get("cached"), Some(&json::Json::Bool(false)), "{first}");
+        assert_eq!(d2.get("cached"), Some(&json::Json::Bool(true)), "{second}");
+        // Byte-identical report documents, same fingerprint.
+        let report = |r: &str| {
+            let start = r.find("\"report\":").unwrap();
+            let end = r.find(",\"server\":").unwrap();
+            r[start..end].to_string()
+        };
+        assert_eq!(report(&first), report(&second));
+        let fp = |d: &json::Json| d.get("fingerprint").unwrap().as_str().unwrap().to_string();
+        assert_eq!(fp(&d1), fp(&d2));
+        assert_eq!(fp(&d1).len(), 32);
+        let stats = s.handle_line(r#"{"op": "stats"}"#);
+        let rc = parse(&stats);
+        let rc = rc.get("server_stats").unwrap().get("result_cache").unwrap();
+        assert_eq!(rc.get("misses"), Some(&json::Json::Int(1)), "{stats}");
+        assert_eq!(rc.get("hits"), Some(&json::Json::Int(1)), "{stats}");
         s.shutdown();
     }
 
@@ -1026,7 +1191,7 @@ mod tests {
             workers: 1,
             queue_capacity: 1,
             pool_capacity: 2,
-            default_timeout_ms: 120_000,
+            ..ServerConfig::default()
         }));
         let clients: Vec<_> = (0..3)
             .map(|i| {

@@ -129,6 +129,7 @@ fn chaos_load_never_wedges_a_worker() {
         queue_capacity: 16,
         pool_capacity: 4,
         default_timeout_ms: 30_000,
+        ..ServerConfig::default()
     }));
 
     let clients: Vec<_> = (0..CLIENTS)
@@ -195,6 +196,7 @@ fn tcp_client_disconnecting_mid_request_does_not_kill_the_server() {
         queue_capacity: 8,
         pool_capacity: 2,
         default_timeout_ms: 30_000,
+        ..ServerConfig::default()
     }));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr");

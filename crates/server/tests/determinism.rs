@@ -86,6 +86,10 @@ fn four_clients_full_suite_matches_serial_reference() {
         queue_capacity: 256,
         pool_capacity: 4,
         default_timeout_ms: 600_000,
+        // Result caching off: this test is about *recomputing* under
+        // concurrency, so every request must actually run the engine.
+        result_cache_entries: 0,
+        ..ServerConfig::default()
     }));
     let clients: Vec<_> = (0..4)
         .map(|c| {
@@ -125,6 +129,8 @@ fn four_clients_full_suite_matches_serial_reference() {
         queue_capacity: 256,
         pool_capacity: 0,
         default_timeout_ms: 600_000,
+        result_cache_entries: 0,
+        ..ServerConfig::default()
     }));
     let subset = ["gemm", "atax", "bicg", "mvt", "gesummv", "trmm"];
     let clients: Vec<_> = (0..4)
@@ -159,6 +165,85 @@ fn four_clients_full_suite_matches_serial_reference() {
     cold.shutdown();
 }
 
+/// The singleflight accounting gate: N identical concurrent requests on a
+/// cold daemon must run the analysis **once**. Exactly one response
+/// computes (`cached: false`); the rest coalesce onto the leader (or read
+/// the entry it just stored) and must be counted under
+/// `inflight_coalesced`/`hits` — never as extra result-cache misses, and
+/// never as extra session-pool checkouts (the double-count regression:
+/// coalesced waiters used to also bump pool stats).
+#[test]
+fn coalesced_requests_are_counted_once_everywhere() {
+    const CLIENTS: usize = 4;
+    let server = Arc::new(Server::start(ServerConfig {
+        workers: CLIENTS,
+        queue_capacity: 16,
+        pool_capacity: 4,
+        default_timeout_ms: 600_000,
+        ..ServerConfig::default()
+    }));
+
+    let responses: Vec<String> = {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let server = server.clone();
+                std::thread::spawn(move || {
+                    server.handle_line(&format!(r#"{{"id": {c}, "kernel": "gemm"}}"#))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    };
+
+    // All four succeed with the same bound, and exactly one computed.
+    let reference = response_q_low(&responses[0]);
+    for response in &responses {
+        assert_eq!(response_q_low(response), reference);
+    }
+    let computed = responses
+        .iter()
+        .filter(|r| r.contains("\"cached\":false"))
+        .count();
+    let served = responses
+        .iter()
+        .filter(|r| r.contains("\"cached\":true"))
+        .count();
+    assert_eq!(computed, 1, "exactly one leader: {responses:#?}");
+    assert_eq!(served, CLIENTS - 1);
+
+    let stats = json::parse(&server.handle_line(r#"{"op": "stats"}"#)).expect("stats parse");
+    let counter = |group: &str, key: &str| -> i128 {
+        stats
+            .get("server_stats")
+            .and_then(|s| s.get(group))
+            .and_then(|g| g.get(key))
+            .and_then(|v| v.as_i128())
+            .unwrap_or_else(|| panic!("stats field {group}.{key} missing: {stats:?}"))
+    };
+    // Result-cache accounting: one miss (the leader), one store, and the
+    // other three split between coalescing onto the in-flight leader and
+    // reading the entry it published — depending on arrival order.
+    assert_eq!(counter("result_cache", "misses"), 1);
+    assert_eq!(counter("result_cache", "stores"), 1);
+    assert_eq!(
+        counter("result_cache", "hits") + counter("result_cache", "inflight_coalesced"),
+        (CLIENTS - 1) as i128
+    );
+    // Pool accounting: only the leader checked a session out. Coalesced
+    // waiters never touch the pool (the double-count fix).
+    assert_eq!(counter("pool", "hits") + counter("pool", "misses"), 1);
+    // And each request completed exactly once.
+    let completed = stats
+        .get("server_stats")
+        .and_then(|s| s.get("requests_completed"))
+        .and_then(|v| v.as_i128());
+    assert_eq!(completed, Some(CLIENTS as i128));
+    server.shutdown();
+}
+
 /// End-to-end over a real socket: concurrent TCP clients, pipelined
 /// requests per connection, `stats`, and a clean shutdown drain.
 #[test]
@@ -171,6 +256,7 @@ fn tcp_round_trip_and_clean_shutdown() {
         queue_capacity: 16,
         pool_capacity: 2,
         default_timeout_ms: 600_000,
+        ..ServerConfig::default()
     }));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr");

@@ -130,8 +130,9 @@ pub use iolb_poly::{Budget, CancelToken, EngineConfig, EngineCtx, EngineInterrup
 /// Commonly used items, re-exported for examples and downstream users.
 pub mod prelude {
     pub use iolb_core::{
-        analyze, analyze_interruptible, Analysis, AnalysisOptions, AnalysisOutcome, AnalyzeError,
-        Analyzer, Degradation, Instance, OiSummary, Regime, Report, Workload,
+        analyze, analyze_interruptible, Analysis, AnalysisFingerprint, AnalysisOptions,
+        AnalysisOutcome, AnalysisReply, AnalyzeError, Analyzer, Degradation, DiskTierConfig,
+        Instance, OiSummary, Regime, Report, ResultCache, ResultCacheConfig, Workload,
     };
     pub use iolb_dfg::{genpaths, Dfg, GenPathsOptions};
     pub use iolb_poly::{

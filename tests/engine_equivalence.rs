@@ -171,3 +171,95 @@ fn repeated_analysis_in_one_session_is_deterministic_and_warm() {
         "second run in the same session should be answered from the warm cache"
     );
 }
+
+/// The result-cache replay gate: every kernel is analysed three times —
+/// cold (computing and filling a disk-backed result cache), hot (the
+/// memory tier), and from a *fresh* cache over the same directory (the
+/// disk tier, i.e. a simulated daemon restart) — and the full report
+/// document must be **byte-identical** on all three paths, with the
+/// `cached` flag and serving tier correct on each.
+#[test]
+fn result_cache_replays_every_kernel_byte_identically_across_tiers() {
+    use iolb::core::result_cache::Tier;
+
+    let dir = std::env::temp_dir().join(format!("iolb-replay-gate-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let disk_cache = || {
+        ResultCache::new(ResultCacheConfig {
+            disk: Some(DiskTierConfig::new(dir.clone())),
+            ..ResultCacheConfig::default()
+        })
+        .expect("disk tier opens")
+    };
+
+    let cache = disk_cache();
+    let kernels = iolb::polybench::all_kernels();
+
+    // Cold pass: every reply computes, carries its fingerprint, and fills
+    // both tiers.
+    let cold: Vec<String> = kernels
+        .iter()
+        .map(|kernel| {
+            let reply = Analyzer::new()
+                .result_cache(cache.clone())
+                .analyze_cached(kernel)
+                .unwrap();
+            assert!(!reply.cached(), "{}: cold pass must compute", kernel.name);
+            assert!(reply.fingerprint().is_some(), "{}", kernel.name);
+            reply.to_json()
+        })
+        .collect();
+
+    // Hot pass: the memory tier serves every kernel, byte for byte.
+    for (kernel, cold_json) in kernels.iter().zip(&cold) {
+        let reply = Analyzer::new()
+            .result_cache(cache.clone())
+            .analyze_cached(kernel)
+            .unwrap();
+        match &reply {
+            AnalysisReply::Cached { tier, .. } => assert_eq!(
+                *tier,
+                Tier::Memory,
+                "{}: hot pass must hit the memory tier",
+                kernel.name
+            ),
+            AnalysisReply::Computed { .. } => panic!("{}: hot pass recomputed", kernel.name),
+        }
+        assert_eq!(
+            &reply.to_json(),
+            cold_json,
+            "{}: memory-tier replay is not byte-identical",
+            kernel.name
+        );
+    }
+
+    // Simulated restart: a fresh cache over the same directory has an
+    // empty memory tier and must replay every kernel from disk.
+    drop(cache);
+    let restarted = disk_cache();
+    for (kernel, cold_json) in kernels.iter().zip(&cold) {
+        let reply = Analyzer::new()
+            .result_cache(restarted.clone())
+            .analyze_cached(kernel)
+            .unwrap();
+        match &reply {
+            AnalysisReply::Cached { tier, .. } => assert_eq!(
+                *tier,
+                Tier::Disk,
+                "{}: post-restart pass must hit the disk tier",
+                kernel.name
+            ),
+            AnalysisReply::Computed { .. } => panic!("{}: restart pass recomputed", kernel.name),
+        }
+        assert_eq!(
+            &reply.to_json(),
+            cold_json,
+            "{}: disk-tier replay is not byte-identical",
+            kernel.name
+        );
+    }
+    let stats = restarted.stats();
+    assert_eq!(stats.disk_hits, kernels.len() as u64);
+    assert_eq!(stats.disk_corrupt, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
