@@ -49,6 +49,21 @@ pub struct ServeThroughput {
     /// Median latency of the hot replay pass — every kernel re-requested
     /// once after the load run, so this is the pure cache-service path.
     pub hot_p50_ms: f64,
+    /// Median latency of requests the preflight classifier routed small.
+    pub small_p50_ms: f64,
+    /// 99th-percentile latency of small-classified requests — the
+    /// number the cost-aware lanes exist to protect (without them, one
+    /// in-flight heat-3d drags this to multi-second head-of-line
+    /// blocking).
+    pub small_p99_ms: f64,
+    /// Median latency of large-classified requests.
+    pub large_p50_ms: f64,
+    /// 99th-percentile latency of large-classified requests.
+    pub large_p99_ms: f64,
+    /// High-water mark of the small lane's queue depth.
+    pub small_queue_peak: u64,
+    /// High-water mark of the large lane's queue depth.
+    pub large_queue_peak: u64,
 }
 
 /// Reads one integer counter out of a `{"op": "stats"}` response line.
@@ -71,6 +86,19 @@ fn stats_counter(stats_line: &str, key: &str) -> u64 {
 fn result_cache_counter(stats_line: &str, key: &str) -> u64 {
     match stats_line.find("\"result_cache\":") {
         Some(at) => stats_counter(&stats_line[at..], key),
+        None => 0,
+    }
+}
+
+/// Reads one integer counter out of one lane object (`"small"` or
+/// `"large"`) of the stats line's `"lanes"` block.
+fn lane_counter(stats_line: &str, lane: &str, key: &str) -> u64 {
+    let Some(lanes_at) = stats_line.find("\"lanes\":") else {
+        return 0;
+    };
+    let tail = &stats_line[lanes_at..];
+    match tail.find(&format!("\"{lane}\":")) {
+        Some(at) => stats_counter(&tail[at..], key),
         None => 0,
     }
 }
@@ -106,7 +134,9 @@ pub fn run(clients: usize) -> ServeThroughput {
             let server = server.clone();
             let kernels = kernels.clone();
             std::thread::spawn(move || {
-                let mut latencies_ms: Vec<f64> = Vec::with_capacity(kernels.len());
+                // Latency paired with the lane the daemon routed the
+                // request into (`server.cost_class` in each response).
+                let mut latencies_ms: Vec<(f64, bool)> = Vec::with_capacity(kernels.len());
                 let mut ok = 0usize;
                 let mut warm = 0usize;
                 let mut cached = 0usize;
@@ -116,7 +146,8 @@ pub fn run(clients: usize) -> ServeThroughput {
                     let response = server.handle_line(&format!(
                         r#"{{"id": "load-{c}-{i}", "kernel": "{kernel}"}}"#
                     ));
-                    latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                    let large = response.contains("\"cost_class\":\"large\"");
+                    latencies_ms.push((sent.elapsed().as_secs_f64() * 1e3, large));
                     if response.contains("\"status\":\"ok\"") {
                         ok += 1;
                     }
@@ -133,17 +164,28 @@ pub fn run(clients: usize) -> ServeThroughput {
         .collect();
 
     let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut small_ms: Vec<f64> = Vec::new();
+    let mut large_ms: Vec<f64> = Vec::new();
     let mut ok = 0usize;
     let mut warm = 0usize;
     let mut cached_responses = 0usize;
     for handle in handles {
         let (lat, client_ok, client_warm, client_cached) = handle.join().expect("load client");
-        latencies_ms.extend(lat);
+        for (ms, large) in lat {
+            latencies_ms.push(ms);
+            if large {
+                large_ms.push(ms);
+            } else {
+                small_ms.push(ms);
+            }
+        }
         ok += client_ok;
         warm += client_warm;
         cached_responses += client_cached;
     }
     let seconds = start.elapsed().as_secs_f64();
+    small_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    large_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
 
     // Hot replay pass: with the whole suite now resident in the result
     // cache, re-request every kernel once and time the pure cache-service
@@ -199,6 +241,12 @@ pub fn run(clients: usize) -> ServeThroughput {
         cached_responses,
         hit_rate,
         hot_p50_ms: percentile(&hot_ms, 0.50),
+        small_p50_ms: percentile(&small_ms, 0.50),
+        small_p99_ms: percentile(&small_ms, 0.99),
+        large_p50_ms: percentile(&large_ms, 0.50),
+        large_p99_ms: percentile(&large_ms, 0.99),
+        small_queue_peak: lane_counter(&stats_line, "small", "queued_peak"),
+        large_queue_peak: lane_counter(&stats_line, "large", "queued_peak"),
     }
 }
 
@@ -213,7 +261,10 @@ impl ServeThroughput {
              \"p50_latency_ms\": {:.3},\n    \"p99_latency_ms\": {:.3},\n    \
              \"timeouts\": {},\n    \"cancelled_in_flight\": {},\n    \
              \"degraded\": {},\n    \"cached_responses\": {},\n    \
-             \"result_cache_hit_rate\": {:.3},\n    \"hot_p50_ms\": {:.4}\n  }}",
+             \"result_cache_hit_rate\": {:.3},\n    \"hot_p50_ms\": {:.4},\n    \
+             \"lanes\": {{\n      \
+             \"small\": {{ \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"queue_peak\": {} }},\n      \
+             \"large\": {{ \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"queue_peak\": {} }}\n    }}\n  }}",
             self.clients,
             self.requests,
             self.ok,
@@ -229,6 +280,12 @@ impl ServeThroughput {
             self.cached_responses,
             self.hit_rate,
             self.hot_p50_ms,
+            self.small_p50_ms,
+            self.small_p99_ms,
+            self.small_queue_peak,
+            self.large_p50_ms,
+            self.large_p99_ms,
+            self.large_queue_peak,
         )
     }
 }
@@ -265,6 +322,12 @@ mod tests {
             cached_responses: 110,
             hit_rate: 0.75,
             hot_p50_ms: 0.25,
+            small_p50_ms: 10.0,
+            small_p99_ms: 150.0,
+            large_p50_ms: 900.0,
+            large_p99_ms: 7000.0,
+            small_queue_peak: 5,
+            large_queue_peak: 3,
         };
         let json = row.to_json_object();
         assert!(json.contains("\"requests_per_second\": 12.000"));
@@ -275,6 +338,11 @@ mod tests {
         assert!(json.contains("\"cached_responses\": 110"));
         assert!(json.contains("\"result_cache_hit_rate\": 0.750"));
         assert!(json.contains("\"hot_p50_ms\": 0.2500"));
+        assert!(json
+            .contains("\"small\": { \"p50_ms\": 10.000, \"p99_ms\": 150.000, \"queue_peak\": 5 }"));
+        assert!(json.contains(
+            "\"large\": { \"p50_ms\": 900.000, \"p99_ms\": 7000.000, \"queue_peak\": 3 }"
+        ));
         let open = json.matches('{').count();
         assert_eq!(open, json.matches('}').count());
     }
@@ -296,5 +364,14 @@ mod tests {
         assert_eq!(result_cache_counter(line, "inflight_coalesced"), 3);
         assert_eq!(result_cache_counter(line, "disk_hits"), 1);
         assert_eq!(result_cache_counter(r#"{"no_cache":true}"#, "hits"), 0);
+    }
+
+    #[test]
+    fn lane_counters_index_the_right_lane() {
+        let line = r#"{"server_stats":{"lanes":{"small":{"queued":0,"queued_peak":7,"served":20},"large":{"queued":1,"queued_peak":3,"served":2}}}}"#;
+        assert_eq!(lane_counter(line, "small", "queued_peak"), 7);
+        assert_eq!(lane_counter(line, "large", "queued_peak"), 3);
+        assert_eq!(lane_counter(line, "large", "served"), 2);
+        assert_eq!(lane_counter(r#"{"no_lanes":true}"#, "small", "served"), 0);
     }
 }

@@ -7,6 +7,11 @@
 //!   `iolb-frontend` grammar), run the Algorithm-6 driver, and print the
 //!   parametric lower bound report as text or JSON (`--json`);
 //!   `--kernel <name>` analyses a built-in PolyBench kernel instead.
+//! * `iolb check <file.iolb>` — run the *preflight* static analyzer
+//!   only (no bound computation): structural profile, affine
+//!   diagnostics with source positions, and the predicted cost class
+//!   (see `iolb-preflight`). Exits non-zero on error-severity
+//!   diagnostics.
 //! * `iolb kernels` — list the built-in PolyBench kernels.
 //! * `iolb bench [kernel…]` — run the perf-trajectory suite
 //!   (`BENCH_analysis.json`), equivalent to the `perf_report` binary.
@@ -47,6 +52,9 @@ USAGE:
     iolb analyze <file.iolb> [OPTIONS]   analyze an affine-C program
     iolb analyze --kernel <name> [OPTIONS]
                                          analyze a built-in PolyBench kernel
+    iolb check <file.iolb> [OPTIONS]     static preflight only: profile,
+                                         diagnostics, predicted cost class
+    iolb check --kernel <name> [OPTIONS]
     iolb kernels [--json]                list the built-in kernels
     iolb bench [kernel...]               run the perf suite (BENCH_analysis.json)
     iolb serve [OPTIONS]                 run the analysis daemon (docs/SERVING.md)
@@ -75,6 +83,15 @@ ANALYZE OPTIONS:
                          result cache already holds this exact analysis
                          (--json output only; text reports always
                          recompute)
+
+CHECK OPTIONS:
+    --json               emit the preflight report as one JSON line
+    --assume NAME>=V     add a context assumption for the feasibility
+    --assume NAME<=V     diagnostics (contradictory bounds are reported
+                         as a contradictory-assumptions error)
+    --depth D            maximum loop-parametrization depth checked
+                         against each statement's loop depth (default: 0;
+                         built-in kernels use their tuned depth)
 
 SERVE OPTIONS:
     --addr HOST:PORT     listen for line-delimited JSON over TCP (port 0
@@ -136,6 +153,7 @@ enum Target {
 pub fn run(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("kernels") => cmd_kernels(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -343,6 +361,168 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
                 d.sweep_total,
             ));
         }
+        Ok(text)
+    }
+}
+
+/// Parsed `check` options.
+struct CheckArgs {
+    target: Target,
+    json: bool,
+    depth: Option<usize>,
+    /// `(name, value, is_upper_bound)` context assumptions from `--assume`.
+    assumptions: Vec<(String, i128, bool)>,
+}
+
+fn parse_check_args(args: &[String]) -> Result<CheckArgs, CliError> {
+    let mut target: Option<Target> = None;
+    let mut json = false;
+    let mut depth = None;
+    let mut assumptions = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--kernel" => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| err("--kernel requires a kernel name"))?;
+                if target.is_some() {
+                    return Err(err(format!(
+                        "--kernel {name} conflicts with an input file; pass one or the other"
+                    )));
+                }
+                target = Some(Target::Kernel(name.clone()));
+            }
+            "--depth" => {
+                let v = it.next().ok_or_else(|| err("--depth requires a number"))?;
+                depth = Some(
+                    v.parse()
+                        .map_err(|_| err(format!("malformed --depth `{v}`")))?,
+                );
+            }
+            "--assume" => {
+                let spec = it
+                    .next()
+                    .ok_or_else(|| err("--assume requires NAME>=VALUE or NAME<=VALUE"))?;
+                let (name, value, upper) = if let Some((n, v)) = spec.split_once(">=") {
+                    (n, v, false)
+                } else if let Some((n, v)) = spec.split_once("<=") {
+                    (n, v, true)
+                } else {
+                    return Err(err(format!(
+                        "malformed --assume `{spec}` (want NAME>=VALUE or NAME<=VALUE)"
+                    )));
+                };
+                let value: i128 = value
+                    .parse()
+                    .map_err(|_| err(format!("malformed --assume value in `{spec}`")))?;
+                assumptions.push((name.to_string(), value, upper));
+            }
+            other if other.starts_with('-') => {
+                return Err(err(format!("unknown check option `{other}`\n\n{USAGE}")));
+            }
+            file => {
+                if target.is_some() {
+                    return Err(err(format!("unexpected argument `{file}`")));
+                }
+                target = Some(Target::File(file.to_string()));
+            }
+        }
+    }
+    let target = target.ok_or_else(|| err(format!("check: missing input\n\n{USAGE}")))?;
+    Ok(CheckArgs {
+        target,
+        json,
+        depth,
+        assumptions,
+    })
+}
+
+/// Renders a preflight report as human-readable text (the non-`--json`
+/// output of `iolb check`).
+fn render_check_text(report: &iolb_core::preflight::PreflightReport) -> String {
+    let p = &report.profile;
+    let mut out = String::new();
+    out.push_str(&format!("workload: {}\n", p.name));
+    out.push_str(&format!(
+        "cost class: {} (blowup score {}, threshold {})\n",
+        p.cost_class.as_str(),
+        p.blowup_score,
+        iolb_core::preflight::LARGE_SCORE_THRESHOLD,
+    ));
+    out.push_str(&format!(
+        "statements: {}, inputs: {}, params: {} ({}), assumptions: {}\n",
+        p.statements.len(),
+        p.inputs,
+        p.params.len(),
+        if p.params.is_empty() {
+            "-".to_string()
+        } else {
+            p.params.join(", ")
+        },
+        p.assumptions,
+    ));
+    out.push_str(&format!(
+        "max loop depth: {}, parametrization depth: {}\n",
+        p.max_depth, p.parametrization_depth,
+    ));
+    for s in &p.statements {
+        out.push_str(&format!(
+            "  {}: dim {}, fan-in {}, fan-out {}, uniform deps {}, pattern {}, score {}\n",
+            s.name, s.dim, s.fan_in, s.fan_out, s.uniform_in, s.pattern, s.blowup_score,
+        ));
+    }
+    if report.diagnostics.is_empty() {
+        out.push_str("no diagnostics\n");
+    } else {
+        out.push_str(&format!("diagnostics: {}\n", report.diagnostics.len()));
+        for d in &report.diagnostics {
+            out.push_str(&format!("  {d}\n"));
+        }
+    }
+    out
+}
+
+fn cmd_check(args: &[String]) -> Result<String, CliError> {
+    let args = parse_check_args(args)?;
+    let mut analyzer = Analyzer::new();
+    if let Some(depth) = args.depth {
+        analyzer = analyzer.max_parametrization_depth(depth);
+    } else if matches!(args.target, Target::File(_)) {
+        analyzer = analyzer.max_parametrization_depth(0);
+    }
+    for (name, value, upper) in &args.assumptions {
+        analyzer = if *upper {
+            analyzer.assume_le(name.clone(), *value)
+        } else {
+            analyzer.assume_ge(name.clone(), *value)
+        };
+    }
+    let report = match &args.target {
+        Target::File(path) => analyzer.preflight(&IolbFile::new(path)),
+        Target::Kernel(kname) => {
+            let kernel = iolb_polybench::kernel_by_name(kname).ok_or_else(|| {
+                err(format!(
+                    "unknown kernel `{kname}` (see `iolb kernels` for the list)"
+                ))
+            })?;
+            analyzer.preflight(&kernel)
+        }
+    }
+    .map_err(|e| err(e.to_string()))?;
+    let text = if args.json {
+        format!("{}\n", report.to_json())
+    } else {
+        render_check_text(&report)
+    };
+    // Error-severity diagnostics make the exit code non-zero (the CI gate
+    // over examples/); the rendered report still carries every diagnostic.
+    if report.has_errors() {
+        Err(CliError(format!(
+            "preflight found error-severity diagnostics\n{text}"
+        )))
+    } else {
         Ok(text)
     }
 }
@@ -719,6 +899,88 @@ mod tests {
         // `--workers 0` is clamped to one worker rather than deadlocking.
         let clamped = parse_serve_args(&strs(&["--stdio", "--workers", "0"])).unwrap();
         assert_eq!(clamped.config.workers, 1);
+    }
+
+    #[test]
+    fn check_profiles_kernels_and_files() {
+        // Calibration anchors, through the CLI surface: the FM-blowup
+        // kernels route large, the dense linear-algebra ones small.
+        let heat = run(&["check".into(), "--kernel".into(), "heat-3d".into()]).unwrap();
+        assert!(heat.contains("cost class: large"), "{heat}");
+        assert!(heat.contains("pattern stencil"), "{heat}");
+        let gemm = run(&["check".into(), "--kernel".into(), "gemm".into()]).unwrap();
+        assert!(gemm.contains("cost class: small"), "{gemm}");
+        assert!(gemm.contains("no diagnostics"), "{gemm}");
+        // A file target profiles identically to its built-in twin's shape.
+        let file = run(&["check".into(), example("jacobi-2d.iolb")]).unwrap();
+        assert!(file.contains("cost class: large"), "{file}");
+        // JSON mode is one parseable line with the same verdict.
+        let json = run(&[
+            "check".into(),
+            "--kernel".into(),
+            "gemm".into(),
+            "--json".into(),
+        ])
+        .unwrap();
+        assert!(json.trim_end().lines().count() == 1, "{json}");
+        assert!(json.contains("\"cost_class\":\"small\""), "{json}");
+        assert!(json.contains("\"diagnostics\":[]"), "{json}");
+    }
+
+    #[test]
+    fn check_flags_bad_programs() {
+        // Golden diagnostics over the intentionally-bad examples: exact
+        // positioned lines, and error severity ⇒ non-zero exit (Err).
+        let e = run(&["check".into(), example("bad/empty-domain.iolb")]).unwrap_err();
+        assert!(
+            e.0.contains(
+                "12:9: error: statement `S1` has an empty iteration domain \
+                 (its loop bounds are unsatisfiable) [empty-domain]"
+            ),
+            "{}",
+            e.0
+        );
+        // Warnings alone keep the exit clean but are all reported.
+        let warn = run(&["check".into(), example("bad/dead-array.iolb")]).unwrap();
+        assert!(
+            warn.contains("warning: array `B` is declared but never read or written [dead-array]"),
+            "{warn}"
+        );
+        assert!(
+            warn.contains("warning: parameter `M` is declared") && warn.contains("[unused-param]"),
+            "{warn}"
+        );
+        // Contradictory --assume bounds make the context infeasible.
+        let e = run(&[
+            "check".into(),
+            example("bad/contradictory-assumptions.iolb"),
+            "--assume".into(),
+            "N>=100".into(),
+            "--assume".into(),
+            "N<=10".into(),
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("[contradictory-assumptions]"), "{}", e.0);
+        // The same program with sane (or no) assumptions is clean.
+        let ok = run(&[
+            "check".into(),
+            example("bad/contradictory-assumptions.iolb"),
+        ])
+        .unwrap();
+        assert!(ok.contains("no diagnostics"), "{ok}");
+        // A program that does not compile fails with the frontend's
+        // positioned error, like `analyze`.
+        let e = run(&["check".into(), "/nonexistent.iolb".into()]).unwrap_err();
+        assert!(e.0.contains("cannot read"), "{}", e.0);
+        // Malformed --assume specs are rejected up front.
+        let e = run(&[
+            "check".into(),
+            example("gemm.iolb"),
+            "--assume".into(),
+            "N=5".into(),
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("malformed --assume"), "{}", e.0);
     }
 
     #[test]

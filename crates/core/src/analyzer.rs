@@ -93,6 +93,7 @@ pub struct Analyzer {
     cache_size: Option<i128>,
     param_values: Vec<(String, i128)>,
     assumptions: Vec<(String, i128)>,
+    assumptions_le: Vec<(String, i128)>,
     options_override: Option<AnalysisOptions>,
     deadline: Option<Duration>,
     budget: Option<Budget>,
@@ -164,6 +165,15 @@ impl Analyzer {
     /// Adds a context assumption `name ≥ value` for symbolic counting.
     pub fn assume_ge(mut self, name: impl Into<String>, value: i128) -> Self {
         self.assumptions.push((name.into(), value));
+        self
+    }
+
+    /// Adds a context assumption `name ≤ value` for symbolic counting.
+    /// Combined with [`Analyzer::assume_ge`] this can pin a parameter to a
+    /// range — or make the context infeasible, which the preflight pass
+    /// reports as a `contradictory-assumptions` error.
+    pub fn assume_le(mut self, name: impl Into<String>, value: i128) -> Self {
+        self.assumptions_le.push((name.into(), value));
         self
     }
 
@@ -250,6 +260,12 @@ impl Analyzer {
             .map(|(name, value)| (name.as_str(), *value))
             .collect();
         fp.add(&assumptions);
+        let assumptions_le: std::collections::BTreeSet<(&str, i128)> = self
+            .assumptions_le
+            .iter()
+            .map(|(name, value)| (name.as_str(), *value))
+            .collect();
+        fp.add(&assumptions_le);
         Some(AnalysisFingerprint::from_raw(fp.finish()))
     }
 
@@ -374,6 +390,21 @@ impl Analyzer {
             let prepared = EngineInterrupt::catch(|| workload.prepare())
                 .map_err(AnalyzeError::Interrupted)??;
             let options = self.resolve_options(&prepared);
+            // The static preflight pass: microseconds of structural
+            // profiling and diagnostics before the driver starts. It runs
+            // engine queries (emptiness, translation detection), so it is
+            // budget-aware like preparation.
+            let preflight = EngineInterrupt::catch(|| {
+                iolb_preflight::preflight(
+                    &prepared.name,
+                    &prepared.dfg,
+                    &prepared.params,
+                    &options.ctx,
+                    options.max_parametrization_depth,
+                    prepared.source.as_ref(),
+                )
+            })
+            .map_err(AnalyzeError::Interrupted)?;
             let start = Instant::now();
             let analysis = analyze_interruptible(&prepared.dfg, &options)
                 .map_err(AnalyzeError::Interrupted)?;
@@ -381,6 +412,7 @@ impl Analyzer {
             let report = Report::new(&prepared.name, analysis, prepared.ops);
             Ok(AnalysisOutcome {
                 report,
+                preflight,
                 stats: engine.stats().delta_since(&stats_before),
                 cache_entries: engine.cache_len(),
                 elapsed,
@@ -389,6 +421,41 @@ impl Analyzer {
         });
         engine.clear_budget();
         result
+    }
+
+    /// Runs **only** the static preflight pass: prepares the workload,
+    /// resolves the options it would be analysed under, and returns the
+    /// structural profile, diagnostics and predicted cost class — without
+    /// touching the Fourier–Motzkin machinery. This is the `iolb check`
+    /// path and the server's request classifier; it completes in
+    /// microseconds for built-in kernels and small multiples of the
+    /// compile time for source workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError::Workload`] when [`Workload::prepare`] fails
+    /// (the diagnostics of a program that does not compile are its
+    /// front-end errors).
+    pub fn preflight<W: Workload + ?Sized>(
+        &self,
+        workload: &W,
+    ) -> Result<iolb_preflight::PreflightReport, AnalyzeError> {
+        let engine = match &self.engine {
+            Some(engine) => engine.clone(),
+            None => EngineCtx::new(),
+        };
+        engine.scope(|| {
+            let prepared = workload.prepare()?;
+            let options = self.resolve_options(&prepared);
+            Ok(iolb_preflight::preflight(
+                &prepared.name,
+                &prepared.dfg,
+                &prepared.params,
+                &options.ctx,
+                options.max_parametrization_depth,
+                prepared.source.as_ref(),
+            ))
+        })
     }
 
     /// Analyses a DFG built **inside** the analysis session by `build` —
@@ -452,6 +519,9 @@ impl Analyzer {
         for (name, value) in &self.assumptions {
             options.ctx = options.ctx.clone().assume_ge(name, *value);
         }
+        for (name, value) in &self.assumptions_le {
+            options.ctx = options.ctx.clone().assume_le(name, *value);
+        }
         options
     }
 }
@@ -462,6 +532,9 @@ pub struct AnalysisOutcome {
     /// The reviewable report (text via `Display`, versioned JSON via
     /// [`Report::to_json`]); owns the [`Analysis`].
     pub report: Report,
+    /// The static preflight pass: structural profile, diagnostics and the
+    /// predicted cost class (see [`iolb_preflight`]).
+    pub preflight: iolb_preflight::PreflightReport,
     /// Engine-operation counters for **this request only**: a delta over
     /// the session's counters, so neither concurrent analyses in other
     /// sessions nor earlier runs in a reused session inflate these numbers.
@@ -518,6 +591,7 @@ impl AnalysisOutcome {
             self.elapsed.as_secs_f64()
         ));
         out.push_str("  }");
+        out.push_str(&format!(",\n  \"preflight\": {}", self.preflight.to_json()));
         // Degradation fields are only emitted when a budget tripped, so
         // un-budgeted reports stay byte-identical to earlier versions.
         if let Some(degradation) = &self.analysis().degradation {
@@ -670,6 +744,7 @@ mod tests {
             .unwrap();
         let idle = AnalysisOutcome {
             report: outcome.report.clone(),
+            preflight: outcome.preflight.clone(),
             stats: Snapshot::default(),
             cache_entries: 0,
             elapsed: Duration::ZERO,
@@ -739,6 +814,7 @@ mod tests {
         });
         let degraded = AnalysisOutcome {
             report,
+            preflight: outcome.preflight.clone(),
             stats: outcome.stats,
             cache_entries: outcome.cache_entries,
             elapsed: outcome.elapsed,

@@ -95,3 +95,7 @@ pub use result_cache::{
     AnalysisFingerprint, DiskTierConfig, ResultCache, ResultCacheConfig, ResultCacheStats,
 };
 pub use workload::{PreparedWorkload, Workload, WorkloadError};
+
+/// The static preflight analyzer (re-exported so downstream crates reach
+/// the profile/diagnostic types through the core API).
+pub use iolb_preflight as preflight;

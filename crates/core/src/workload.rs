@@ -37,6 +37,10 @@ pub struct PreparedWorkload {
     pub options: Option<AnalysisOptions>,
     /// Symbolic operation count override for the report, when known.
     pub ops: Option<iolb_symbol::Poly>,
+    /// Source-level facts for preflight diagnostics (spans, declared vs.
+    /// referenced arrays), when the workload was lowered from source text;
+    /// `None` for built-in kernels and raw DFGs.
+    pub source: Option<iolb_preflight::SourceInfo>,
 }
 
 /// An error preparing a workload (file I/O, front-end, lowering, …).
@@ -114,6 +118,7 @@ impl Workload for Dfg {
             dfg: self.clone(),
             options: None,
             ops: None,
+            source: None,
         })
     }
 }

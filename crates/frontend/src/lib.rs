@@ -238,6 +238,7 @@ fn prepare_lowered(
         dfg,
         options: None,
         ops: None,
+        source: Some(program.source_info().clone()),
     })
 }
 

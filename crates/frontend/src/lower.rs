@@ -12,6 +12,7 @@ use crate::ast::{AccessExpr, Assign, AssignOp, BinOp, Expr, Item, Program, Stmt}
 use crate::{Error, Span};
 use iolb_ir::dataflow::{Access, AccessProgram, SchedStep};
 use iolb_poly::{BasicSet, Constraint, LinExpr, Space};
+use iolb_preflight::{SourceInfo, SourceSpan};
 use std::collections::BTreeMap;
 
 /// A lowered program: the access-level form ready for dependence analysis,
@@ -21,6 +22,7 @@ pub struct LoweredProgram {
     access: AccessProgram,
     params: Vec<String>,
     statement_names: Vec<String>,
+    source: SourceInfo,
 }
 
 impl LoweredProgram {
@@ -38,6 +40,13 @@ impl LoweredProgram {
     /// The accesses-plus-schedule form (arrays, domains, accesses).
     pub fn access_program(&self) -> &AccessProgram {
         &self.access
+    }
+
+    /// Source-level facts for preflight diagnostics: declaration and
+    /// statement positions, plus which declared arrays are actually
+    /// accessed.
+    pub fn source_info(&self) -> &SourceInfo {
+        &self.source
     }
 
     /// Runs value-based flow-dependence analysis and returns the DFG.
@@ -79,17 +88,49 @@ pub fn lower(ast: &Program) -> Result<LoweredProgram, Error> {
             s.ops,
         );
     }
+    let mut source = SourceInfo {
+        declared_arrays: lowerer.array_order.clone(),
+        param_spans: lowerer
+            .param_spans
+            .iter()
+            .map(|(n, s)| (n.clone(), source_span(*s)))
+            .collect(),
+        ..SourceInfo::default()
+    };
+    for name in &lowerer.array_order {
+        source
+            .array_spans
+            .insert(name.clone(), source_span(lowerer.arrays[name].span));
+    }
+    for s in &lowerer.statements {
+        source
+            .statement_spans
+            .insert(s.name.clone(), source_span(s.span));
+        for acc in s.write.iter().chain(s.reads.iter()) {
+            source.referenced_arrays.insert(acc.array.clone());
+        }
+    }
     Ok(LoweredProgram {
         access: access.build(),
         params: lowerer.params,
         statement_names: lowerer.statements.into_iter().map(|s| s.name).collect(),
+        source,
     })
+}
+
+/// Converts a frontend [`Span`] to the preflight crate's position type.
+fn source_span(s: Span) -> SourceSpan {
+    SourceSpan {
+        line: s.line,
+        col: s.col,
+    }
 }
 
 /// A declared array.
 struct ArrayDecl {
     name: String,
     domain: BasicSet,
+    span: Span,
 }
 
 /// A fully-lowered statement, before assembly into the [`AccessProgram`].
@@ -100,6 +141,7 @@ struct LoweredStmt {
     write: Option<Access>,
     reads: Vec<Access>,
     ops: u64,
+    span: Span,
 }
 
 /// One enclosing loop during the walk.
@@ -113,6 +155,7 @@ struct LoopCtx {
 #[derive(Default)]
 struct Lowerer {
     params: Vec<String>,
+    param_spans: BTreeMap<String, Span>,
     arrays: BTreeMap<String, ArrayDecl>,
     array_order: Vec<String>,
     statements: Vec<LoweredStmt>,
@@ -144,6 +187,7 @@ impl Lowerer {
                             ));
                         }
                         self.params.push(n.clone());
+                        self.param_spans.insert(n.clone(), *span);
                     }
                 }
                 Item::Array {
@@ -204,6 +248,7 @@ impl Lowerer {
             ArrayDecl {
                 name: name.to_string(),
                 domain: set,
+                span,
             },
         );
         self.array_order.push(name.to_string());
@@ -324,6 +369,7 @@ impl Lowerer {
             write: Some(write),
             reads,
             ops,
+            span: a.span,
         });
         Ok(())
     }

@@ -257,6 +257,7 @@ impl iolb_core::Workload for Program {
             dfg,
             options: None,
             ops: None,
+            source: None,
         })
     }
 }
@@ -276,6 +277,7 @@ impl iolb_core::Workload for AccessProgram {
             dfg,
             options: None,
             ops: None,
+            source: None,
         })
     }
 }

@@ -430,6 +430,18 @@ impl BasicMap {
         if !self.in_space.compatible(&self.out_space) {
             return None;
         }
+        self.shift_offsets()
+    }
+
+    /// Like [`BasicMap::translation_offsets`], but only requires the two
+    /// spaces to have equal *dimension counts*, not equal names: detects
+    /// `S1[x] → S2[x + δ]` shifts between distinct statement spaces — the
+    /// ping-pong form of stencils (jacobi's `A → B → A`), whose
+    /// cross-statement dependences are translations in all but name.
+    pub fn shift_offsets(&self) -> Option<Vec<i128>> {
+        if self.in_space.dim() != self.out_space.dim() {
+            return None;
+        }
         if self.is_empty() {
             return None;
         }

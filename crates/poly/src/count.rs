@@ -47,6 +47,14 @@ impl Context {
         self
     }
 
+    /// Adds the assumption `param ≤ value`.
+    pub fn assume_le(mut self, param: &str, value: i128) -> Self {
+        self.constraints.push(Constraint::ge0(
+            LinExpr::constant(0, value).sub(&LinExpr::param(0, param)),
+        ));
+        self
+    }
+
     /// Adds an arbitrary parameter-only assumption (a constraint of arity 0).
     ///
     /// # Panics

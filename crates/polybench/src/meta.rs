@@ -81,6 +81,7 @@ impl iolb_core::Workload for Kernel {
             options: Some(fresh.analysis_options()),
             ops: Some(fresh.ops.clone()),
             dfg: fresh.dfg,
+            source: None,
         })
     }
 

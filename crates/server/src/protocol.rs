@@ -409,6 +409,9 @@ pub struct ServiceTimings {
     /// (the serving session itself is checked in just after, so it is not
     /// counted).
     pub pool_sessions: usize,
+    /// The preflight cost class the scheduler routed this request under
+    /// (`"small"` or `"large"`).
+    pub cost_class: &'static str,
 }
 
 /// Result-cache provenance of a successful response, rendered as the
@@ -465,7 +468,7 @@ pub fn ok_response(
         None => String::new(),
     };
     format!(
-        "{{\"id\":{id},\"status\":\"ok\",\"cached\":{},\"report\":{},\"server\":{{\"queue_ms\":{:.3},\"service_ms\":{:.3},\"analysis_ms\":{:.3},\"session_warm\":{},\"pool_sessions\":{}}}{fingerprint}{degraded}}}",
+        "{{\"id\":{id},\"status\":\"ok\",\"cached\":{},\"report\":{},\"server\":{{\"queue_ms\":{:.3},\"service_ms\":{:.3},\"analysis_ms\":{:.3},\"session_warm\":{},\"pool_sessions\":{},\"cost_class\":{}}}{fingerprint}{degraded}}}",
         cache.cached,
         json::compact(report_json).trim_end(),
         timings.queue_ms,
@@ -473,6 +476,7 @@ pub fn ok_response(
         timings.analysis_ms,
         timings.session_warm,
         timings.pool_sessions,
+        json::escape(timings.cost_class),
     )
 }
 
@@ -640,6 +644,7 @@ mod tests {
             analysis_ms: 11.0,
             session_warm: true,
             pool_sessions: 3,
+            cost_class: "small",
         };
         let ok = ok_response(
             "\"r1\"",
@@ -681,6 +686,7 @@ mod tests {
             analysis_ms: 11.0,
             session_warm: false,
             pool_sessions: 0,
+            cost_class: "large",
         };
         let degraded = DegradedInfo {
             tripped: "fm_steps",

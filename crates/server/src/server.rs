@@ -38,10 +38,11 @@ use crate::protocol::{
     ERR_UNKNOWN_KERNEL, ERR_WORKLOAD,
 };
 use iolb_core::pool::SessionPool;
+use iolb_core::preflight::CostClass;
 use iolb_core::result_cache::Claim;
 use iolb_core::{AnalyzeError, Analyzer, DiskTierConfig, ResultCache, ResultCacheConfig, Workload};
 use iolb_poly::{Budget, CancelToken, EngineConfig, EngineInterrupt};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -103,6 +104,51 @@ struct Job {
     /// executing it observes the token at the engine's budget checkpoints
     /// and stops at the next one.
     cancel: CancelToken,
+    /// The preflight-predicted cost class that routed this job into its
+    /// lane (and derives its default budget).
+    class: CostClass,
+}
+
+/// Index of a cost class into the per-class metric arrays.
+fn class_idx(class: CostClass) -> usize {
+    match class {
+        CostClass::Small => 0,
+        CostClass::Large => 1,
+    }
+}
+
+/// Log₂ service-time histogram: bucket `i` counts completions with
+/// `service_ms` in `[2^i, 2^(i+1))` (bucket 0 also holds sub-millisecond
+/// completions).
+const HIST_BUCKETS: usize = 32;
+
+fn hist_bucket(service_ms: f64) -> usize {
+    let ms = service_ms.max(0.0) as u64;
+    if ms <= 1 {
+        0
+    } else {
+        (63 - ms.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// The `service_ms` upper bound of the bucket holding the `q`-quantile
+/// completion, or 0 with no samples. Coarse (powers of two) but allocation-
+/// free and lock-free — good enough for retry hints and stats.
+fn hist_percentile(hist: &[AtomicU64; HIST_BUCKETS], q: f64) -> u64 {
+    let counts: Vec<u64> = hist.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return 1u64 << (i + 1);
+        }
+    }
+    1u64 << HIST_BUCKETS
 }
 
 #[derive(Default)]
@@ -130,10 +176,56 @@ struct Metrics {
     /// Sessions dropped instead of pooled because their analysis was
     /// interrupted mid-query.
     sessions_retired: AtomicU64,
-    /// Total service time of completed requests, in microseconds, plus the
-    /// sample count — the running mean behind the `retry_after_ms` hint.
-    service_us: AtomicU64,
-    service_samples: AtomicU64,
+    /// Per-class (small = 0, large = 1) total service time of completed
+    /// requests in microseconds, plus the sample counts — the running means
+    /// behind the `retry_after_ms` hints. Split by class so a heat-3d-class
+    /// outlier never inflates the back-off hint handed to a cheap request.
+    service_us: [AtomicU64; 2],
+    service_samples: [AtomicU64; 2],
+    /// Per-class log₂ service-time histograms (the `stats` p50/p99 source).
+    service_hist: [[AtomicU64; HIST_BUCKETS]; 2],
+    /// Per-class high-water marks of lane queue depth.
+    queue_peak: [AtomicU64; 2],
+}
+
+impl Metrics {
+    /// Records one completed request of `class` taking `service_ms`.
+    fn record_service(&self, class: CostClass, service_ms: f64) {
+        let i = class_idx(class);
+        self.service_us[i].fetch_add((service_ms * 1e3) as u64, Ordering::Relaxed);
+        self.service_samples[i].fetch_add(1, Ordering::Relaxed);
+        self.service_hist[i][hist_bucket(service_ms)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The two class-routed job queues. Small jobs are never stuck behind a
+/// large one: large-capable workers prefer the large lane and fall back to
+/// small work, while the remaining workers serve the small lane only — so
+/// a stencil request can never occupy every worker.
+#[derive(Default)]
+struct Lanes {
+    small: VecDeque<Job>,
+    large: VecDeque<Job>,
+}
+
+impl Lanes {
+    fn lane_mut(&mut self, class: CostClass) -> &mut VecDeque<Job> {
+        match class {
+            CostClass::Small => &mut self.small,
+            CostClass::Large => &mut self.large,
+        }
+    }
+}
+
+/// What a worker thread is allowed to serve.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Serves the large lane first, then falls back to small work
+    /// (work-conserving). At least one worker is always large-capable.
+    LargeCapable,
+    /// Serves the small lane only, so cheap requests always have a worker
+    /// no stencil can park.
+    SmallOnly,
 }
 
 struct Inner {
@@ -142,24 +234,96 @@ struct Inner {
     /// The content-addressed result cache, `None` when disabled
     /// (`result_cache_entries == 0` and no `cache_dir`).
     result_cache: Option<Arc<ResultCache>>,
-    queue: Mutex<VecDeque<Job>>,
+    /// Both lanes live under **one** mutex (and one condvar): workers of
+    /// either role wait on the same condvar, and the drain protocol's
+    /// no-lost-wakeup argument needs a single lock covering every
+    /// queue-state check.
+    queue: Mutex<Lanes>,
     queue_cv: Condvar,
     draining: AtomicBool,
     metrics: Metrics,
+    /// Memoized request classification, keyed by the workload's canonical
+    /// cache key. Bounded (cleared at [`CLASS_MEMO_CAP`]); classification
+    /// is cheap enough that a cold miss is fine.
+    class_memo: Mutex<HashMap<String, CostClass>>,
 }
 
+/// Entries retained in the classification memo before it is reset.
+const CLASS_MEMO_CAP: usize = 4096;
+
+/// Default timeout ceiling for small-class requests that carry no
+/// `timeout_ms` of their own: a predicted-cheap analysis that runs past
+/// 30 s is a misprediction, and bounding it keeps the budget (the engine
+/// deadline at 90% of the timeout) proportional to the predicted cost.
+const SMALL_DEFAULT_TIMEOUT_MS: u64 = 30_000;
+
 impl Inner {
-    /// Back-off hint for overloaded clients: queue depth × the running mean
-    /// service time of completed requests. Before any request completes the
-    /// mean is unknown; 250 ms stands in so the hint is never zero.
-    fn retry_after_ms(&self, queue_depth: usize) -> u64 {
-        let samples = self.metrics.service_samples.load(Ordering::Relaxed);
-        let mean_ms = if samples == 0 {
-            250.0
-        } else {
-            self.metrics.service_us.load(Ordering::Relaxed) as f64 / samples as f64 / 1e3
+    /// The effective timeout of a request: its own `timeout_ms`, or the
+    /// class-derived default (large: the configured default; small: the
+    /// configured default capped at [`SMALL_DEFAULT_TIMEOUT_MS`]).
+    fn effective_timeout(&self, request: &AnalyzeRequest, class: CostClass) -> Duration {
+        let default_ms = match class {
+            CostClass::Large => self.config.default_timeout_ms,
+            CostClass::Small => self.config.default_timeout_ms.min(SMALL_DEFAULT_TIMEOUT_MS),
         };
-        (queue_depth.max(1) as f64 * mean_ms).ceil() as u64
+        Duration::from_millis(request.timeout_ms.unwrap_or(default_ms))
+    }
+
+    /// Back-off hint for overloaded clients: lane depth × the running mean
+    /// service time of completed requests **of the same cost class** — a
+    /// heat-3d-class outlier must not inflate the hint handed to a cheap
+    /// request. Before any same-class request completes the mean is
+    /// unknown; a class-scaled constant stands in so the hint is never
+    /// zero.
+    fn retry_after_ms(&self, class: CostClass, lane_depth: usize) -> u64 {
+        let i = class_idx(class);
+        let samples = self.metrics.service_samples[i].load(Ordering::Relaxed);
+        let mean_ms = if samples == 0 {
+            match class {
+                CostClass::Small => 250.0,
+                CostClass::Large => 5_000.0,
+            }
+        } else {
+            self.metrics.service_us[i].load(Ordering::Relaxed) as f64 / samples as f64 / 1e3
+        };
+        (lane_depth.max(1) as f64 * mean_ms).ceil() as u64
+    }
+
+    /// Predicts the cost class of a request's workload by running the
+    /// static preflight pass (microseconds for kernels, a compile for
+    /// source programs), memoized by the workload's canonical cache key.
+    /// Unpreparable workloads classify as small — the worker surfaces the
+    /// real error, and a misrouted failure costs nothing.
+    fn classify(&self, spec: &WorkloadSpec) -> CostClass {
+        let workload: Box<dyn Workload> = match spec {
+            WorkloadSpec::Kernel(name) => match iolb_polybench::kernel_by_name(name) {
+                Some(kernel) => Box::new(kernel),
+                None => return CostClass::Small,
+            },
+            WorkloadSpec::Source(text) => Box::new(iolb_frontend::IolbSource::new(text)),
+            WorkloadSpec::Path(path) => Box::new(iolb_frontend::IolbFile::new(path)),
+        };
+        let key = workload.cache_key();
+        if let Some(key) = &key {
+            if let Some(class) = self.class_memo.lock().unwrap().get(key) {
+                return *class;
+            }
+        }
+        let class = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Analyzer::new().preflight(workload.as_ref())
+        }))
+        .ok()
+        .and_then(|r| r.ok())
+        .map(|report| report.cost_class())
+        .unwrap_or(CostClass::Small);
+        if let Some(key) = key {
+            let mut memo = self.class_memo.lock().unwrap();
+            if memo.len() >= CLASS_MEMO_CAP {
+                memo.clear();
+            }
+            memo.insert(key, class);
+        }
+        class
     }
 }
 
@@ -218,18 +382,34 @@ impl Server {
         let inner = Arc::new(Inner {
             pool: SessionPool::new(config.pool_capacity),
             result_cache,
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(Lanes::default()),
             queue_cv: Condvar::new(),
             draining: AtomicBool::new(false),
             metrics: Metrics::default(),
+            class_memo: Mutex::new(HashMap::new()),
             config,
         });
-        let workers = (0..inner.config.workers)
+        // A lone worker must serve both lanes; with two or more, half the
+        // pool (at least one) is large-capable and the rest are reserved for
+        // the small lane, so a burst of blowup-class requests can never
+        // park every worker behind multi-second analyses.
+        let workers = inner.config.workers;
+        let large_workers = if workers == 1 {
+            1
+        } else {
+            (workers / 2).max(1)
+        };
+        let workers = (0..workers)
             .map(|i| {
                 let inner = inner.clone();
+                let role = if i < large_workers {
+                    Role::LargeCapable
+                } else {
+                    Role::SmallOnly
+                };
                 std::thread::Builder::new()
                     .name(format!("iolb-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, role))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -278,17 +458,17 @@ impl Server {
         let inner = &*self.inner;
         inner.metrics.received.fetch_add(1, Ordering::Relaxed);
         let id = request.id.render();
-        let timeout = Duration::from_millis(
-            request
-                .timeout_ms
-                .unwrap_or(inner.config.default_timeout_ms),
-        );
+        // Classify before taking the queue lock: preflight is microseconds
+        // for kernels but compiles source programs, and runs on the
+        // connection thread, never under the lock.
+        let class = inner.classify(&request.workload);
+        let timeout = inner.effective_timeout(&request, class);
         let (reply_tx, reply_rx) = mpsc::channel();
         let cancel = CancelToken::new();
         {
             let mut queue = inner.queue.lock().unwrap();
             // The drain check must happen under the queue lock: workers
-            // decide to exit under this same lock (empty queue + draining),
+            // decide to exit under this same lock (empty lanes + draining),
             // so a request admitted here while draining is false is
             // guaranteed a live worker. An unlocked check would race with
             // shutdown and strand the job in the queue forever.
@@ -299,25 +479,37 @@ impl Server {
                     "server is draining and accepts no new analyses",
                 );
             }
-            if queue.len() >= inner.config.queue_capacity {
+            // Admission is per lane — each class gets the full configured
+            // capacity, so a flood of large requests cannot starve small
+            // ones of queue slots (or vice versa).
+            let lane = queue.lane_mut(class);
+            if lane.len() >= inner.config.queue_capacity {
                 inner.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+                let depth = lane.len();
                 return overloaded_response(
                     &id,
                     &format!(
-                        "request queue is full ({} queued); retry with backoff",
-                        queue.len()
+                        "{} lane is full ({} queued); retry with backoff",
+                        class.as_str(),
+                        depth
                     ),
-                    inner.retry_after_ms(queue.len()),
+                    inner.retry_after_ms(class, depth),
                 );
             }
-            queue.push_back(Job {
+            lane.push_back(Job {
                 request,
                 reply: reply_tx,
                 enqueued_at: Instant::now(),
                 cancel: cancel.clone(),
+                class,
             });
+            let depth = lane.len() as u64;
+            inner.metrics.queue_peak[class_idx(class)].fetch_max(depth, Ordering::Relaxed);
         }
-        inner.queue_cv.notify_one();
+        // `notify_all`, not `notify_one`: with two lanes a single wakeup
+        // could land on a small-only worker while a large job waits (a lost
+        // wakeup for the large-capable worker sleeping next to it).
+        inner.queue_cv.notify_all();
         match reply_rx.recv_timeout(timeout) {
             Ok(response) => response,
             Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -356,9 +548,30 @@ impl Server {
             .as_ref()
             .map(|c| c.stats())
             .unwrap_or_default();
+        let (small_depth, large_depth) = {
+            let queue = inner.queue.lock().unwrap();
+            (queue.small.len(), queue.large.len())
+        };
+        let lane_json = |class: CostClass, depth: usize| {
+            let i = class_idx(class);
+            let samples = m.service_samples[i].load(Ordering::Relaxed);
+            let mean_ms = if samples == 0 {
+                0.0
+            } else {
+                m.service_us[i].load(Ordering::Relaxed) as f64 / samples as f64 / 1e3
+            };
+            format!(
+                "{{\"queued\":{depth},\"queued_peak\":{},\"served\":{samples},\
+                 \"mean_service_ms\":{mean_ms:.3},\"p50_ms\":{},\"p99_ms\":{}}}",
+                m.queue_peak[i].load(Ordering::Relaxed),
+                hist_percentile(&m.service_hist[i], 0.50),
+                hist_percentile(&m.service_hist[i], 0.99),
+            )
+        };
         format!(
             "{{\"id\":{id},\"status\":\"ok\",\"server_stats\":{{\
              \"workers\":{},\"queue_capacity\":{},\"queue_depth\":{},\"draining\":{},\
+             \"lanes\":{{\"small\":{},\"large\":{}}},\
              \"requests_received\":{},\"requests_completed\":{},\"requests_failed\":{},\
              \"rejected_overloaded\":{},\"timeouts\":{},\"abandoned_skipped\":{},\
              \"abandoned_completed\":{},\"cancelled_in_flight\":{},\"degraded\":{},\
@@ -370,8 +583,10 @@ impl Server {
              \"disk_evictions\":{},\"disk_corrupt\":{},\"stores\":{},\"uncacheable\":{}}}}}}}",
             inner.config.workers,
             inner.config.queue_capacity,
-            inner.queue.lock().unwrap().len(),
+            small_depth + large_depth,
             inner.draining.load(Ordering::SeqCst),
+            lane_json(CostClass::Small, small_depth),
+            lane_json(CostClass::Large, large_depth),
             m.received.load(Ordering::Relaxed),
             m.completed.load(Ordering::Relaxed),
             m.failed.load(Ordering::Relaxed),
@@ -559,14 +774,27 @@ fn handle_connection(
     }
 }
 
-fn worker_loop(inner: &Arc<Inner>) {
+fn worker_loop(inner: &Arc<Inner>, role: Role) {
     loop {
         let job = {
             let mut queue = inner.queue.lock().unwrap();
             loop {
-                if let Some(job) = queue.pop_front() {
+                // Large-capable workers drain the large lane first (it has
+                // fewer servers), then stay work-conserving on small jobs;
+                // small-only workers never touch the large lane, so cheap
+                // requests always have a worker no stencil can park.
+                let popped = match role {
+                    Role::LargeCapable => {
+                        queue.large.pop_front().or_else(|| queue.small.pop_front())
+                    }
+                    Role::SmallOnly => queue.small.pop_front(),
+                };
+                if let Some(job) = popped {
                     break job;
                 }
+                // Drain exit: a small-only worker may leave jobs in the
+                // large lane behind — the large-capable workers (at least
+                // one always exists) finish those before exiting.
                 if inner.draining.load(Ordering::SeqCst) {
                     return;
                 }
@@ -679,14 +907,7 @@ fn execute(inner: &Inner, job: &Job, queue_ms: f64) -> String {
             Claim::Hit(hit) | Claim::Coalesced(hit) => {
                 inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
                 let service_ms = started.elapsed().as_secs_f64() * 1e3;
-                inner
-                    .metrics
-                    .service_us
-                    .fetch_add((service_ms * 1e3) as u64, Ordering::Relaxed);
-                inner
-                    .metrics
-                    .service_samples
-                    .fetch_add(1, Ordering::Relaxed);
+                inner.metrics.record_service(job.class, service_ms);
                 let timings = ServiceTimings {
                     queue_ms,
                     service_ms,
@@ -695,6 +916,7 @@ fn execute(inner: &Inner, job: &Job, queue_ms: f64) -> String {
                     analysis_ms: 0.0,
                     session_warm: false,
                     pool_sessions: inner.pool.len(),
+                    cost_class: job.class.as_str(),
                 };
                 let cache_info = CacheInfo {
                     cached: true,
@@ -720,11 +942,8 @@ fn execute(inner: &Inner, job: &Job, queue_ms: f64) -> String {
     // the client's timeout (so a degraded reply can still reach a client
     // that is about to stop listening — measured from enqueue, exactly
     // like the client's own clock), and any explicit `budget` limits.
-    let timeout = Duration::from_millis(
-        request
-            .timeout_ms
-            .unwrap_or(inner.config.default_timeout_ms),
-    );
+    // The class-derived default must match what `handle_analyze` armed.
+    let timeout = inner.effective_timeout(request, job.class);
     let mut budget = Budget::none()
         .cancel_token(job.cancel.clone())
         .deadline_at(job.enqueued_at + timeout.mul_f64(0.9));
@@ -747,20 +966,14 @@ fn execute(inner: &Inner, job: &Job, queue_ms: f64) -> String {
         Ok(outcome) => {
             inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
             let service_ms = started.elapsed().as_secs_f64() * 1e3;
-            inner
-                .metrics
-                .service_us
-                .fetch_add((service_ms * 1e3) as u64, Ordering::Relaxed);
-            inner
-                .metrics
-                .service_samples
-                .fetch_add(1, Ordering::Relaxed);
+            inner.metrics.record_service(job.class, service_ms);
             let timings = ServiceTimings {
                 queue_ms,
                 service_ms,
                 analysis_ms: outcome.elapsed.as_secs_f64() * 1e3,
                 session_warm: checkout.warm,
                 pool_sessions: inner.pool.len(),
+                cost_class: job.class.as_str(),
             };
             let degraded = outcome.report.analysis.degradation.as_ref().map(|d| {
                 inner.metrics.degraded.fetch_add(1, Ordering::Relaxed);
