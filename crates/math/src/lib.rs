@@ -37,6 +37,6 @@ pub mod subspace;
 pub use convex::{ExponentProblem, ExponentSolution};
 pub use lattice::{ClosureBudgetExceeded, Lattice};
 pub use matrix::Matrix;
-pub use rational::{gcd, lcm, rat, Rational};
+pub use rational::{gcd, lcm, rat, Rational, RationalOverflow};
 pub use simplex::{ConstraintOp, LinearConstraint, LinearProgram, LpResult};
 pub use subspace::Subspace;

@@ -10,6 +10,72 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
+/// Unwind payload raised when an exact rational operation would overflow
+/// `i128`.
+///
+/// Release builds compile plain `i128` arithmetic to wrapping instructions,
+/// which would turn an overflow into a silently *wrong* exact number — fatal
+/// for the feasibility and redundancy verdicts built on top of it. Every
+/// [`Rational`] operation therefore uses checked arithmetic and starts this
+/// unwind (via [`std::panic::resume_unwind`], so no panic hook fires: an
+/// overflow is a recoverable resource limit, not a bug report). Callers that
+/// feed potentially large coefficients into rational computations — the
+/// LP-based redundancy elimination in the polyhedral engine, for instance —
+/// catch it with [`RationalOverflow::catch`] and fall back to a path that
+/// does not need the result.
+///
+/// ```
+/// use iolb_math::{Rational, RationalOverflow};
+///
+/// let huge = Rational::from_int(i128::MAX);
+/// let r = RationalOverflow::catch(|| huge + Rational::ONE);
+/// assert_eq!(r, Err(RationalOverflow));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RationalOverflow;
+
+impl fmt::Display for RationalOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rational arithmetic overflowed i128")
+    }
+}
+
+impl RationalOverflow {
+    /// Runs `f`, converting a [`RationalOverflow`] unwind escaping it into an
+    /// `Err`. Any other unwind (a genuine panic, an engine interrupt)
+    /// propagates unchanged.
+    pub fn catch<R>(f: impl FnOnce() -> R) -> Result<R, RationalOverflow> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            Ok(v) => Ok(v),
+            Err(payload) => match payload.downcast::<RationalOverflow>() {
+                Ok(_) => Err(RationalOverflow),
+                Err(other) => std::panic::resume_unwind(other),
+            },
+        }
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn overflow() -> ! {
+    std::panic::resume_unwind(Box::new(RationalOverflow))
+}
+
+#[inline]
+fn ck_add(a: i128, b: i128) -> i128 {
+    a.checked_add(b).unwrap_or_else(|| overflow())
+}
+
+#[inline]
+fn ck_mul(a: i128, b: i128) -> i128 {
+    a.checked_mul(b).unwrap_or_else(|| overflow())
+}
+
+#[inline]
+fn ck_neg(a: i128) -> i128 {
+    a.checked_neg().unwrap_or_else(|| overflow())
+}
+
 /// Greatest common divisor of two integers (result is non-negative).
 ///
 /// Computed over unsigned magnitudes so that `i128::MIN` — whose absolute
@@ -80,8 +146,8 @@ impl Rational {
 
     fn normalize(&mut self) {
         if self.den < 0 {
-            self.num = -self.num;
-            self.den = -self.den;
+            self.num = ck_neg(self.num);
+            self.den = ck_neg(self.den);
         }
         let g = gcd(self.num, self.den);
         if g > 1 {
@@ -232,7 +298,7 @@ impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
         Rational {
-            num: -self.num,
+            num: ck_neg(self.num),
             den: self.den,
         }
     }
@@ -246,8 +312,8 @@ impl Add for Rational {
         let lhs_scale = rhs.den / g;
         let rhs_scale = self.den / g;
         Rational::new(
-            self.num * lhs_scale + rhs.num * rhs_scale,
-            self.den * lhs_scale,
+            ck_add(ck_mul(self.num, lhs_scale), ck_mul(rhs.num, rhs_scale)),
+            ck_mul(self.den, lhs_scale),
         )
     }
 }
@@ -265,8 +331,8 @@ impl Mul for Rational {
         let g1 = gcd(self.num, rhs.den);
         let g2 = gcd(rhs.num, self.den);
         Rational::new(
-            (self.num / g1) * (rhs.num / g2),
-            (self.den / g2) * (rhs.den / g1),
+            ck_mul(self.num / g1, rhs.num / g2),
+            ck_mul(self.den / g2, rhs.den / g1),
         )
     }
 }
@@ -312,7 +378,7 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // den > 0 on both sides, so cross-multiplication preserves order.
-        (self.num * other.den).cmp(&(other.num * self.den))
+        ck_mul(self.num, other.den).cmp(&ck_mul(other.num, self.den))
     }
 }
 
@@ -433,6 +499,47 @@ mod tests {
         assert_eq!(s, Rational::ONE);
         let p: Rational = v.iter().copied().product();
         assert_eq!(p, rat(1, 36));
+    }
+
+    #[test]
+    fn overflow_is_caught_not_wrapped() {
+        // Every arithmetic path must raise a catchable RationalOverflow
+        // instead of (in release) silently wrapping to a wrong exact value.
+        let huge = Rational::from_int(i128::MAX);
+        let tiny = Rational::new(1, i128::MAX);
+        assert_eq!(
+            RationalOverflow::catch(|| huge + huge),
+            Err(RationalOverflow)
+        );
+        assert_eq!(
+            RationalOverflow::catch(|| huge * huge),
+            Err(RationalOverflow)
+        );
+        assert_eq!(
+            RationalOverflow::catch(|| huge - Rational::from_int(i128::MIN)),
+            Err(RationalOverflow)
+        );
+        // Comparison cross-multiplies, so it can overflow too.
+        assert_eq!(
+            RationalOverflow::catch(|| huge > tiny),
+            Err(RationalOverflow)
+        );
+        // Negating i128::MIN does not fit.
+        assert_eq!(
+            RationalOverflow::catch(|| -Rational::from_int(i128::MIN)),
+            Err(RationalOverflow)
+        );
+        // In-range work inside the catch passes through untouched.
+        assert_eq!(RationalOverflow::catch(|| huge * Rational::ONE), Ok(huge));
+    }
+
+    #[test]
+    fn overflow_catch_propagates_foreign_unwinds() {
+        // A genuine panic escaping the closure must not be swallowed.
+        let caught = std::panic::catch_unwind(|| {
+            let _ = RationalOverflow::catch(|| panic!("not an overflow"));
+        });
+        assert!(caught.is_err(), "foreign panics must propagate");
     }
 
     #[test]

@@ -186,11 +186,26 @@ impl BasicSet {
     /// Set difference `self ∖ other`, returned as a union of disjoint basic
     /// sets (the standard "first i constraints hold, constraint i is
     /// violated" decomposition).
+    ///
+    /// Disjoint operands short-circuit: when `self ∩ other` is empty the
+    /// result is `self`, established by a single feasibility query instead of
+    /// one per subtrahend constraint. This is what keeps the cascaded
+    /// subtraction in [`Set::subtract`] near-linear in practice — after the
+    /// first split, most fragments are disjoint from every later subtrahend
+    /// piece, and without the short-circuit the decomposition re-splits (and
+    /// emptiness-tests) each of them per piece.
     pub fn subtract(&self, other: &BasicSet) -> Set {
         assert!(
             self.space.compatible(other.space()),
             "subtracting incompatible spaces"
         );
+        if other.constraints.is_empty() {
+            // Subtracting the universe leaves nothing.
+            return Set::empty(self.space.clone());
+        }
+        if self.intersect(other).is_empty() {
+            return Set::from_basic_sets(self.space.clone(), vec![self.clone()]);
+        }
         let n = self.dim();
         let mut pieces = Vec::new();
         let mut prefix: Vec<Constraint> = Vec::new();
@@ -230,10 +245,6 @@ impl BasicSet {
                     prefix.push(c.clone());
                 }
             }
-        }
-        if other.constraints.is_empty() {
-            // Subtracting the universe leaves nothing.
-            return Set::empty(self.space.clone());
         }
         Set::from_basic_sets(self.space.clone(), pieces)
     }

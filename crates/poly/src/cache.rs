@@ -44,11 +44,15 @@ mod tag {
     pub const FEASIBILITY: u64 = 1;
     pub const ENTAILMENT: u64 = 2;
     pub const COUNT: u64 = 3;
+    pub const PROJECTION: u64 = 4;
     pub const PART: u64 = 0x5E77_A5A7;
 }
 
 const SHARDS: usize = 16;
-/// The three query kinds a capacity budget is split across.
+/// The three boolean/polynomial query kinds the main capacity budget is split
+/// across. The projection cache has its own budget
+/// ([`crate::engine::EngineConfig::projection_cache_capacity`]) because its
+/// values are whole constraint systems, not scalars.
 const KINDS: usize = 3;
 
 struct Sharded<V> {
@@ -106,21 +110,25 @@ pub(crate) struct QueryCache {
     feasibility: Sharded<bool>,
     entailment: Sharded<bool>,
     count: Sharded<Option<Poly>>,
+    projection: Sharded<Vec<Constraint>>,
 }
 
 impl QueryCache {
-    /// Creates a cache whose **total** entry count across the three query
-    /// kinds is capped by `capacity`. The budget is split evenly over the
-    /// `3 × 16` shards, rounding up per shard (so tiny non-zero budgets
-    /// still store a few entries; the true ceiling is within one entry per
-    /// shard of `capacity`). A capacity of 0 disables storage entirely.
-    pub(crate) fn new(capacity: usize, enabled: bool) -> Self {
+    /// Creates a cache whose **total** entry count across the three
+    /// boolean/polynomial query kinds is capped by `capacity`, and whose
+    /// projection store is capped by `projection_capacity`. Each budget is
+    /// split evenly over its 16 shards, rounding up per shard (so tiny
+    /// non-zero budgets still store a few entries; the true ceiling is
+    /// within one entry per shard of the budget). A capacity of 0 disables
+    /// storage for that group entirely.
+    pub(crate) fn new(capacity: usize, projection_capacity: usize, enabled: bool) -> Self {
         let shard_cap = capacity.div_ceil(SHARDS * KINDS);
         QueryCache {
             enabled: AtomicBool::new(enabled),
             feasibility: Sharded::new(shard_cap),
             entailment: Sharded::new(shard_cap),
             count: Sharded::new(shard_cap),
+            projection: Sharded::new(projection_capacity.div_ceil(SHARDS)),
         }
     }
 
@@ -136,10 +144,11 @@ impl QueryCache {
         self.feasibility.clear();
         self.entailment.clear();
         self.count.clear();
+        self.projection.clear();
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.feasibility.len() + self.entailment.len() + self.count.len()
+        self.feasibility.len() + self.entailment.len() + self.count.len() + self.projection.len()
     }
 
     /// Memoizes a feasibility query. `compute` runs on a miss (or when the
@@ -221,6 +230,65 @@ impl QueryCache {
         self.count.insert(key, v.clone());
         v
     }
+
+    /// Memoizes a single-variable projection: the post-elimination constraint
+    /// system for `(sys, idx)`. The near-identical projection chains a
+    /// stencil's candidate sweep emits mostly differ in a suffix, so sibling
+    /// queries converge on shared intermediate systems and skip the
+    /// cross-product work entirely. `compute` is responsible for bumping
+    /// `FM_ELIMINATIONS` (a *performed* elimination); the hit path bumps
+    /// `PROJECTION_CACHE_HITS` here, keeping hits + eliminations equal to the
+    /// number of projections requested.
+    pub(crate) fn projection(
+        &self,
+        stats: &Counters,
+        sys: Vec<Constraint>,
+        idx: usize,
+        compute: impl FnOnce(Vec<Constraint>) -> Vec<Constraint>,
+    ) -> Vec<Constraint> {
+        if !self.is_enabled() {
+            return compute(sys);
+        }
+        let mut fp = Fingerprint::new(tag::PROJECTION);
+        fp.add(&idx);
+        fp.add(&sys);
+        let key = fp.finish();
+        if let Some(v) = self.projection.get(key) {
+            stats.bump_projection_cache_hit();
+            return v;
+        }
+        let v = compute(sys);
+        self.projection.insert(key, v.clone());
+        v
+    }
+
+    /// Owned-system variant of [`QueryCache::feasibility`] for the recursive
+    /// feasibility kernel, which hands the system to its `compute`
+    /// continuation instead of re-borrowing it. Keys identically to
+    /// `feasibility` (same tag, same parts), so the two entry points share
+    /// entries.
+    pub(crate) fn feasibility_owned(
+        &self,
+        stats: &Counters,
+        sys: Vec<Constraint>,
+        nvars: usize,
+        compute: impl FnOnce(Vec<Constraint>) -> bool,
+    ) -> bool {
+        if !self.is_enabled() {
+            return compute(sys);
+        }
+        let mut fp = Fingerprint::new(tag::FEASIBILITY);
+        fp.add(&nvars);
+        fp.add(&sys);
+        let key = fp.finish();
+        if let Some(v) = self.feasibility.get(key) {
+            stats.bump_feasibility_cache_hit();
+            return v;
+        }
+        let v = compute(sys);
+        self.feasibility.insert(key, v);
+        v
+    }
 }
 
 // --- deprecated global shims -----------------------------------------------
@@ -287,7 +355,7 @@ pub fn clear() {
 ///     let s = parse_set("[N] -> { S[i] : 0 <= i < N }").unwrap();
 ///     fm::is_feasible_in(&EngineCtx::current(), s.constraints(), s.dim());
 /// });
-/// assert_eq!(session.cache_len(), 1, "the feasibility answer is memoized");
+/// assert!(session.cache_len() >= 1, "the feasibility answer is memoized");
 /// ```
 #[deprecated(note = "use EngineCtx::cache_len on an explicit session")]
 pub fn len() -> usize {

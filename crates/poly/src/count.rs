@@ -227,35 +227,17 @@ fn count_rec(
 }
 
 /// Removes inequality constraints bounding dimension `idx` that are implied
-/// by the remaining constraints. Constraints are removed one at a time (and
-/// the check repeated on the reduced system) so that one of two equivalent
-/// bounds always survives.
+/// by the remaining constraints. Delegates to the shared
+/// [`crate::redundancy::drop_redundant_bounds_in`] entry point (which
+/// produces exactly the output of the historical restart-loop formulation
+/// this function used to carry, with fewer entailment queries).
 fn drop_redundant_bounds(
     engine: &EngineCtx,
     constraints: Vec<Constraint>,
     idx: usize,
     nvars: usize,
 ) -> Vec<Constraint> {
-    let mut current = constraints;
-    loop {
-        let mut removed = false;
-        for i in 0..current.len() {
-            let c = &current[i];
-            if c.kind != ConstraintKind::Inequality || c.expr.var_coeff(idx) == 0 {
-                continue;
-            }
-            let mut rest: Vec<Constraint> = current.clone();
-            rest.remove(i);
-            if fm::implies_in(engine, &rest, nvars, c) {
-                current = rest;
-                removed = true;
-                break;
-            }
-        }
-        if !removed {
-            return current;
-        }
-    }
+    crate::redundancy::drop_redundant_bounds_in(engine, constraints, idx, nvars)
 }
 
 /// Picks the dominating bound among candidates: the greatest lower bound or

@@ -76,6 +76,15 @@ pub struct EngineConfig {
     pub cache_enabled: bool,
     /// Maximum number of distinct parameter names the session may intern.
     pub interner_capacity: usize,
+    /// Maximum number of memoized single-variable projections (whole
+    /// post-elimination constraint systems, so budgeted separately from the
+    /// scalar-valued query caches). 0 disables projection storage.
+    pub projection_cache_capacity: usize,
+    /// Constraint-count threshold at or above which `fm::prune` escalates
+    /// from structural dedup to exact-LP redundancy elimination. Small
+    /// systems keep the cheap structural pass; `usize::MAX` disables LP
+    /// pruning entirely (the differential oracle's reference configuration).
+    pub lp_prune_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +95,8 @@ impl Default for EngineConfig {
             cache_capacity: 3 * 16 * 65_536,
             cache_enabled: true,
             interner_capacity: 4_096,
+            projection_cache_capacity: 65_536,
+            lp_prune_threshold: 48,
         }
     }
 }
@@ -102,6 +113,8 @@ impl EngineConfig {
             self.cache_capacity,
             self.cache_enabled,
             self.interner_capacity,
+            self.projection_cache_capacity,
+            self.lp_prune_threshold,
         )) as u64
     }
 }
@@ -161,7 +174,11 @@ impl EngineCtx {
         Arc::new(EngineCtx {
             id,
             interner: ParamTable::new(id, config.interner_capacity),
-            cache: QueryCache::new(config.cache_capacity, config.cache_enabled),
+            cache: QueryCache::new(
+                config.cache_capacity,
+                config.projection_cache_capacity,
+                config.cache_enabled,
+            ),
             stats: Counters::new(),
             budget_active: AtomicBool::new(false),
             budget: Mutex::new(None),
@@ -520,9 +537,19 @@ mod tests {
             cache_enabled: false,
             ..EngineConfig::default()
         };
+        let no_projection = EngineConfig {
+            projection_cache_capacity: 0,
+            ..EngineConfig::default()
+        };
+        let no_lp = EngineConfig {
+            lp_prune_threshold: usize::MAX,
+            ..EngineConfig::default()
+        };
         assert_ne!(base.fingerprint(), smaller.fingerprint());
         assert_ne!(base.fingerprint(), disabled.fingerprint());
         assert_ne!(smaller.fingerprint(), disabled.fingerprint());
+        assert_ne!(base.fingerprint(), no_projection.fingerprint());
+        assert_ne!(base.fingerprint(), no_lp.fingerprint());
     }
 
     #[test]

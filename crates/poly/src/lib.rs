@@ -58,6 +58,7 @@ pub mod fxhash;
 pub mod interner;
 pub mod map;
 pub mod parser;
+pub mod redundancy;
 pub mod set;
 pub mod space;
 pub mod stats;

@@ -113,6 +113,9 @@ impl Set {
         assert!(self.space.compatible(other.space()), "incompatible spaces");
         let mut current: Vec<BasicSet> = self.parts.clone();
         for b in &other.parts {
+            if current.is_empty() {
+                break;
+            }
             let mut next = Vec::new();
             for a in &current {
                 next.extend(a.subtract(b).parts.iter().cloned());

@@ -1,0 +1,269 @@
+//! Differential fuzz oracle for the LP-exact Fourier–Motzkin core.
+//!
+//! Two sessions analyse the same randomly generated affine systems: one with
+//! LP redundancy pruning forced on for (almost) every system
+//! (`lp_prune_threshold: 2`), and a structural-only reference with LP pruning
+//! disabled (`lp_prune_threshold: usize::MAX`). LP pruning removes only
+//! *redundant* constraints, so every observable answer — rational
+//! feasibility, entailment, symbolic cardinality, and the redundant-bound
+//! sweep — must agree exactly between the two configurations on every seed.
+//!
+//! `ParamId`s are session-scoped, so a constraint system cannot be shared
+//! between the two sessions directly: each round generates a
+//! session-independent *spec* (plain coefficient tuples) and materializes it
+//! inside each session's scope. The generator is the same deterministic
+//! xorshift used by `interned_semantics.rs` (no external crates in this
+//! container).
+
+use iolb_poly::{
+    count, fm, redundancy, BasicSet, Constraint, Context, EngineConfig, EngineCtx, LinExpr, Space,
+};
+use std::sync::Arc;
+
+/// Deterministic xorshift generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn range(&mut self, lo: i128, hi: i128) -> i128 {
+        lo + (self.next() % (hi - lo + 1) as u64) as i128
+    }
+}
+
+const PARAMS: [&str; 3] = ["N", "M", "S"];
+const ROUNDS: usize = 256;
+
+/// A session-independent constraint description: variable coefficients, one
+/// optional parameter term, a constant, and the equality flag.
+#[derive(Clone, Debug, PartialEq)]
+struct ConstraintSpec {
+    var_coeffs: Vec<i128>,
+    param: Option<(usize, i128)>,
+    constant: i128,
+    equality: bool,
+}
+
+impl ConstraintSpec {
+    fn random(rng: &mut Rng, nvars: usize) -> ConstraintSpec {
+        ConstraintSpec {
+            var_coeffs: (0..nvars).map(|_| rng.range(-4, 4)).collect(),
+            // Parameters appear in roughly half the constraints so both the
+            // purely existential and the parametric LP column layouts get
+            // exercised.
+            param: (rng.range(0, 1) == 1).then(|| {
+                (
+                    rng.range(0, PARAMS.len() as i128 - 1) as usize,
+                    rng.range(-3, 3),
+                )
+            }),
+            constant: rng.range(-8, 8),
+            equality: rng.range(0, 5) == 0,
+        }
+    }
+
+    /// Materializes the spec in the *current* session (parameter interning
+    /// is session-scoped).
+    fn build(&self) -> Constraint {
+        let nvars = self.var_coeffs.len();
+        let mut e = LinExpr::zero(nvars);
+        for (i, &c) in self.var_coeffs.iter().enumerate() {
+            e = e.add(&LinExpr::var(nvars, i).scale(c));
+        }
+        if let Some((p, c)) = self.param {
+            e = e.add(&LinExpr::param(nvars, PARAMS[p]).scale(c));
+        }
+        e = e.add(&LinExpr::constant(nvars, self.constant));
+        if self.equality {
+            Constraint::eq(e)
+        } else {
+            Constraint::ge0(e)
+        }
+    }
+
+    /// The session-independent canonical form of a materialized constraint,
+    /// for comparing outputs produced in different sessions.
+    fn canon(c: &Constraint) -> (bool, Vec<i128>, Vec<i128>, i128) {
+        (
+            c.kind == iolb_poly::ConstraintKind::Equality,
+            c.expr.var_coeffs.clone(),
+            PARAMS.iter().map(|p| c.expr.param_coeff(p)).collect(),
+            c.expr.constant,
+        )
+    }
+}
+
+/// A random system of 2–8 constraints, mostly inequalities with the
+/// occasional equality (equalities drive the substitution path of the
+/// elimination kernel and the equality row shape of the LP).
+fn random_system(rng: &mut Rng, nvars: usize) -> Vec<ConstraintSpec> {
+    let n = rng.range(2, 8) as usize;
+    (0..n).map(|_| ConstraintSpec::random(rng, nvars)).collect()
+}
+
+fn build_all(specs: &[ConstraintSpec]) -> Vec<Constraint> {
+    specs.iter().map(ConstraintSpec::build).collect()
+}
+
+/// Builds the two sessions under test: LP-forced and structural-only.
+fn sessions() -> (Arc<EngineCtx>, Arc<EngineCtx>) {
+    let forced = EngineCtx::with_config(EngineConfig {
+        lp_prune_threshold: 2,
+        ..EngineConfig::default()
+    });
+    let reference = EngineCtx::with_config(EngineConfig {
+        lp_prune_threshold: usize::MAX,
+        ..EngineConfig::default()
+    });
+    (forced, reference)
+}
+
+#[test]
+fn lp_pruned_feasibility_and_entailment_agree_with_structural_path() {
+    let (forced, reference) = sessions();
+    let mut rng = Rng(0xD1FF_FEA5);
+    let mut feasible = 0usize;
+    let mut entailed = 0usize;
+    for round in 0..ROUNDS {
+        let nvars = rng.range(1, 4) as usize;
+        let sys = random_system(&mut rng, nvars);
+        let target = ConstraintSpec {
+            equality: false,
+            ..ConstraintSpec::random(&mut rng, nvars)
+        };
+
+        let run = |engine: &Arc<EngineCtx>| {
+            engine.scope(|| {
+                let built = build_all(&sys);
+                let t = target.build();
+                let e = EngineCtx::current();
+                (
+                    fm::is_feasible_in(&e, &built, nvars),
+                    fm::implies_in(&e, &built, nvars, &t),
+                )
+            })
+        };
+        let (f_forced, i_forced) = run(&forced);
+        let (f_ref, i_ref) = run(&reference);
+        assert_eq!(
+            f_forced, f_ref,
+            "round {round}: feasibility diverged on {sys:?}"
+        );
+        assert_eq!(
+            i_forced, i_ref,
+            "round {round}: entailment diverged on {sys:?} ⊨ {target:?}"
+        );
+        feasible += f_forced as usize;
+        entailed += i_forced as usize;
+    }
+    // The corpus must exercise both answers of both queries, and the forced
+    // session must actually have taken the LP path — otherwise the
+    // differential proves nothing.
+    assert!(feasible > 0 && feasible < ROUNDS, "one-sided feasibility");
+    assert!(entailed > 0, "no entailment ever held");
+    assert!(
+        forced.stats().LP_CALLS > 0,
+        "LP pruning never fired in the forced session"
+    );
+    assert_eq!(
+        reference.stats().LP_CALLS,
+        0,
+        "reference session must stay structural-only"
+    );
+}
+
+#[test]
+fn lp_pruned_cardinality_agrees_with_structural_path() {
+    let (forced, reference) = sessions();
+    let ctx = Context::empty();
+    let mut rng = Rng(0xCA4D_C0DE);
+    let mut counted = 0usize;
+    for round in 0..ROUNDS {
+        let nvars = rng.range(1, 3) as usize;
+        let mut sys = random_system(&mut rng, nvars);
+        // Bound every variable into a box so a decent fraction of the random
+        // systems fall into the exactly-countable class.
+        for i in 0..nvars {
+            let mut lo = vec![0; nvars];
+            lo[i] = 1;
+            sys.push(ConstraintSpec {
+                var_coeffs: lo.clone(),
+                param: None,
+                constant: 0,
+                equality: false,
+            });
+            let mut hi = lo;
+            hi[i] = -1;
+            sys.push(ConstraintSpec {
+                var_coeffs: hi,
+                param: None,
+                constant: rng.range(1, 6),
+                equality: false,
+            });
+        }
+        let run = |engine: &Arc<EngineCtx>| {
+            engine.scope(|| {
+                let dims: Vec<String> = (0..nvars).map(|i| format!("d{i}")).collect();
+                let dim_refs: Vec<&str> = dims.iter().map(|s| s.as_str()).collect();
+                let set = BasicSet::from_constraints(Space::new("F", &dim_refs), build_all(&sys));
+                count::card_basic_in(&EngineCtx::current(), &set, &ctx)
+            })
+        };
+        let c_forced = run(&forced);
+        let c_ref = run(&reference);
+        // `Poly` is string-keyed, so the comparison is session-independent.
+        assert_eq!(
+            c_forced, c_ref,
+            "round {round}: cardinality diverged on {sys:?}"
+        );
+        counted += c_forced.is_some() as usize;
+    }
+    assert!(counted > 0, "no system was ever exactly countable");
+    assert!(
+        forced.stats().LP_CALLS > 0,
+        "LP pruning never fired in the forced session"
+    );
+}
+
+#[test]
+fn redundant_bound_sweep_is_config_independent() {
+    // `redundancy::drop_redundant_bounds_in` is an entailment-driven sweep;
+    // the engine configuration (LP pruning on or off underneath the
+    // entailment oracle) must never change which bounds it removes.
+    let (forced, reference) = sessions();
+    let mut rng = Rng(0xB0D5_5EED);
+    let mut dropped = 0usize;
+    for round in 0..ROUNDS {
+        let nvars = rng.range(1, 3) as usize;
+        let sys = random_system(&mut rng, nvars);
+        let idx = rng.range(0, nvars as i128 - 1) as usize;
+        let run = |engine: &Arc<EngineCtx>| {
+            engine.scope(|| {
+                redundancy::drop_redundant_bounds_in(
+                    &EngineCtx::current(),
+                    build_all(&sys),
+                    idx,
+                    nvars,
+                )
+                .iter()
+                .map(ConstraintSpec::canon)
+                .collect::<Vec<_>>()
+            })
+        };
+        let out_forced = run(&forced);
+        let out_ref = run(&reference);
+        assert_eq!(
+            out_forced, out_ref,
+            "round {round}: redundant-bound sweep diverged on {sys:?} (idx {idx})"
+        );
+        dropped += (out_forced.len() < sys.len()) as usize;
+    }
+    assert!(dropped > 0, "the sweep never dropped anything");
+}
