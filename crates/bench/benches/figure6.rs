@@ -2,15 +2,14 @@
 //! simulation for representative tiled and streaming schedules.
 
 use iolb_bench::harness::bench;
-use iolb_cachesim::simulate_lru;
+use iolb_core::tightness::achieved_oi;
 
 fn main() {
     println!("== figure6_simulation ==");
     for name in ["gemm", "jacobi-2d", "atax", "floyd-warshall"] {
         bench(name, 10, || {
             let t = iolb_polybench::trace(name, 64, 16).expect("trace available");
-            let stats = simulate_lru(&t.trace, 1024);
-            stats.operational_intensity(t.ops)
+            achieved_oi(&t.trace, t.ops, 1024)
         });
     }
 }

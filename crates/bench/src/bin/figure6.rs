@@ -8,7 +8,7 @@
 //! EXPERIMENTS.md); pass `--full` for larger instances.
 
 use iolb_bench::{evaluate_suite, MACHINE_BALANCE};
-use iolb_cachesim::simulate_lru;
+use iolb_core::tightness::achieved_oi;
 use iolb_core::Regime;
 
 fn main() {
@@ -27,10 +27,8 @@ fn main() {
         "kernel", "OI_tiled", "OI_up", "regime"
     );
     for row in evaluate_suite() {
-        let achieved = iolb_polybench::trace(row.name, n, tile).map(|t| {
-            let stats = simulate_lru(&t.trace, cache_words);
-            stats.operational_intensity(t.ops)
-        });
+        let achieved = iolb_polybench::trace(row.name, n, tile)
+            .map(|t| achieved_oi(&t.trace, t.ops, cache_words));
         let kernel = iolb_polybench::kernel_by_name(row.name).expect("known kernel");
         let instance = kernel.large_instance();
         let pairs: Vec<(String, i128)> = instance.as_param_slice();

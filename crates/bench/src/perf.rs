@@ -12,6 +12,7 @@
 //! kernel and the summed counters for the whole suite.
 
 use crate::{evaluate_kernel, KernelRow};
+use iolb_core::Analyzer;
 use iolb_poly::stats::Snapshot;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -42,6 +43,9 @@ pub struct PerfRun {
     /// The serving-layer load run (full-suite runs only): 4 concurrent
     /// clients × the whole suite against an in-process daemon.
     pub serve: Option<crate::serve::ServeThroughput>,
+    /// Sampled tightness ratios (`min Q_low / measured LRU misses` at the
+    /// default small instance), full-suite runs only.
+    pub tightness: Vec<(String, f64)>,
     /// The JSON document (the `BENCH_analysis.json` payload).
     pub json: String,
     /// True when every kernel ran (a filtered run is a partial
@@ -52,6 +56,11 @@ pub struct PerfRun {
 /// Client threads for the `serve_throughput` section (the acceptance bar:
 /// the daemon must sustain at least four concurrent clients).
 pub const SERVE_CLIENTS: usize = 4;
+
+/// Kernels sampled by the tightness pass — representative shapes (dense
+/// contraction, band matrix, stencil, dynamic programming), kept small so
+/// the perf gate holds; the exhaustive sweep lives in `iolb simulate`.
+pub const TIGHTNESS_SAMPLE: &[&str] = &["gemm", "atax", "mvt", "jacobi-2d", "floyd-warshall"];
 
 /// Analyses the suite (optionally filtered by kernel name), printing one
 /// line per kernel, and assembles the JSON record.
@@ -100,6 +109,32 @@ pub fn run(filter: &[String]) -> PerfRun {
         None
     };
 
+    // Sampled tightness ratios: simulate a handful of representative
+    // kernels at the default small instance and record how close the
+    // parametric Q_low sits to the measured LRU misses.
+    let tightness = if full_suite {
+        let mut ratios: Vec<(String, f64)> = Vec::new();
+        for name in TIGHTNESS_SAMPLE {
+            let Some(kernel) = iolb_polybench::kernel_by_name(name) else {
+                continue;
+            };
+            let Ok(outcome) = Analyzer::new().simulate(&kernel) else {
+                continue;
+            };
+            let ratio = outcome
+                .tightness
+                .as_ref()
+                .and_then(|report| report.min_tightness_lru());
+            if let Some(ratio) = ratio {
+                println!("tightness {name:<18} Q_low/LRU-misses = {ratio:.4}");
+                ratios.push((name.to_string(), ratio));
+            }
+        }
+        ratios
+    } else {
+        Vec::new()
+    };
+
     // Suite totals: sum of the per-session counters.
     let mut totals: Vec<(&'static str, u64)> = Vec::new();
     for row in &rows {
@@ -140,6 +175,14 @@ pub fn run(filter: &[String]) -> PerfRun {
     if let Some(load) = &serve {
         let _ = writeln!(json, "  \"serve_throughput\": {},", load.to_json_object());
     }
+    if !tightness.is_empty() {
+        json.push_str("  \"tightness\": {\n");
+        for (i, (name, ratio)) in tightness.iter().enumerate() {
+            let comma = if i + 1 < tightness.len() { "," } else { "" };
+            let _ = writeln!(json, "    \"{name}\": {ratio:.6}{comma}");
+        }
+        json.push_str("  },\n");
+    }
     json.push_str("  \"engine_counters\": {\n");
     for (i, (key, value)) in totals.iter().enumerate() {
         let comma = if i + 1 < totals.len() { "," } else { "" };
@@ -153,6 +196,7 @@ pub fn run(filter: &[String]) -> PerfRun {
         total_seconds,
         counters: totals,
         serve,
+        tightness,
         json,
         full_suite,
     }

@@ -12,7 +12,7 @@
 
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Statistics of one simulation run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -64,8 +64,12 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct LruCache {
     capacity: usize,
-    // Address -> last-use timestamp.
+    // Address -> last-use timestamp, and the inverse ordered index
+    // (timestamps are unique, so the BTreeMap is a recency queue): both
+    // `access` paths are O(log capacity) instead of the former O(capacity)
+    // min-scan, which dominated whole-trace simulation.
     resident: HashMap<u64, u64>,
+    by_recency: BTreeMap<u64, u64>,
     clock: u64,
     stats: CacheStats,
 }
@@ -81,6 +85,7 @@ impl LruCache {
         LruCache {
             capacity,
             resident: HashMap::new(),
+            by_recency: BTreeMap::new(),
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -90,19 +95,20 @@ impl LruCache {
     pub fn access(&mut self, address: u64) -> bool {
         self.clock += 1;
         self.stats.accesses += 1;
-        if self.resident.contains_key(&address) {
-            self.resident.insert(address, self.clock);
+        if let Some(stamp) = self.resident.insert(address, self.clock) {
+            self.by_recency.remove(&stamp);
+            self.by_recency.insert(self.clock, address);
             self.stats.hits += 1;
             return true;
         }
         self.stats.misses += 1;
-        if self.resident.len() >= self.capacity {
-            // Evict the least recently used word.
-            if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &ts)| ts) {
+        if self.resident.len() > self.capacity {
+            // Evict the least recently used word (oldest timestamp).
+            if let Some((_, victim)) = self.by_recency.pop_first() {
                 self.resident.remove(&victim);
             }
         }
-        self.resident.insert(address, self.clock);
+        self.by_recency.insert(self.clock, address);
         false
     }
 
@@ -137,25 +143,38 @@ pub fn simulate_optimal(trace: &[u64], capacity: usize) -> CacheStats {
         next_use[i] = last_pos.get(&a).copied().unwrap_or(usize::MAX);
         last_pos.insert(a, i);
     }
-    let mut resident: HashMap<u64, usize> = HashMap::new(); // address -> next use
+    // Address -> next use, plus the ordered index for O(log capacity)
+    // furthest-next-use eviction. Finite next-use positions are unique, and
+    // among never-used-again words (`usize::MAX`) the victim choice cannot
+    // affect any future access, so the ordered tie-break keeps miss counts
+    // identical to the former linear max-scan — just deterministic and fast.
+    let mut resident: HashMap<u64, usize> = HashMap::new();
+    let mut by_next_use: BTreeSet<(usize, u64)> = BTreeSet::new();
     let mut stats = CacheStats::default();
     for (i, &a) in trace.iter().enumerate() {
         stats.accesses += 1;
-        if let std::collections::hash_map::Entry::Occupied(mut e) = resident.entry(a) {
+        if let Some(old) = resident.insert(a, next_use[i]) {
             stats.hits += 1;
-            e.insert(next_use[i]);
+            by_next_use.remove(&(old, a));
+            by_next_use.insert((next_use[i], a));
             continue;
         }
         stats.misses += 1;
-        if resident.len() >= capacity {
+        if resident.len() > capacity {
             // Evict the resident word whose next use is furthest away.
-            if let Some((&victim, _)) = resident.iter().max_by_key(|(_, &nu)| nu) {
+            if let Some((_, victim)) = by_next_use.pop_last() {
                 resident.remove(&victim);
             }
         }
-        resident.insert(a, next_use[i]);
+        by_next_use.insert((next_use[i], a));
     }
     stats
+}
+
+/// The number of distinct addresses in a trace — the compulsory (cold) miss
+/// count of any replacement policy at any capacity.
+pub fn distinct_addresses(trace: &[u64]) -> u64 {
+    trace.iter().collect::<HashSet<_>>().len() as u64
 }
 
 /// A tiny helper for building word-granular address traces for multi-array

@@ -55,6 +55,11 @@ USAGE:
     iolb check <file.iolb> [OPTIONS]     static preflight only: profile,
                                          diagnostics, predicted cost class
     iolb check --kernel <name> [OPTIONS]
+    iolb simulate <file.iolb> [OPTIONS]  two-sided locality report: generate
+                                         an address trace at a concrete
+                                         instance, simulate it, and compare
+                                         measured misses against Q_low
+    iolb simulate --kernel <name> [OPTIONS]
     iolb kernels [--json]                list the built-in kernels
     iolb bench [kernel...]               run the perf suite (BENCH_analysis.json)
     iolb serve [OPTIONS]                 run the analysis daemon (docs/SERVING.md)
@@ -83,6 +88,21 @@ ANALYZE OPTIONS:
                          result cache already holds this exact analysis
                          (--json output only; text reports always
                          recompute)
+
+SIMULATE OPTIONS:
+    --json               emit the full analysis report with the
+                         \"tightness\" block as JSON
+    --param NAME=VALUE   concrete parameter value for trace generation
+                         (default: 16 for every program parameter; repeat
+                         for each parameter)
+    --cache LIST         comma-separated fast-memory sizes in words to
+                         simulate (default: 1024)
+    --opt                also simulate Belady/optimal replacement
+    --max-trace N        trace-length budget; larger instances degrade to
+                         a skipped entry instead of hanging (default:
+                         4000000)
+    --serial             disable the parallel driver
+    --deadline-ms MS     wall-clock budget for the whole run
 
 CHECK OPTIONS:
     --json               emit the preflight report as one JSON line
@@ -154,6 +174,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
         Some("kernels") => cmd_kernels(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -525,6 +546,212 @@ fn cmd_check(args: &[String]) -> Result<String, CliError> {
     } else {
         Ok(text)
     }
+}
+
+/// Parsed `simulate` options.
+struct SimulateArgs {
+    target: Target,
+    json: bool,
+    /// Concrete instance for trace generation (`--param`); empty means the
+    /// default all-16 instance derived by the tightness pass.
+    params: Vec<(String, i128)>,
+    /// Cache sizes in words (`--cache`), already parsed from the comma list.
+    cache_sizes: Vec<usize>,
+    opt: bool,
+    max_trace: Option<u64>,
+    serial: bool,
+    deadline_ms: Option<u64>,
+}
+
+fn parse_simulate_args(args: &[String]) -> Result<SimulateArgs, CliError> {
+    let mut target: Option<Target> = None;
+    let mut json = false;
+    let mut params = Vec::new();
+    let mut cache_sizes = Vec::new();
+    let mut opt = false;
+    let mut max_trace = None;
+    let mut serial = false;
+    let mut deadline_ms = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--opt" => opt = true,
+            "--serial" => serial = true,
+            "--kernel" => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| err("--kernel requires a kernel name"))?;
+                if target.is_some() {
+                    return Err(err(format!(
+                        "--kernel {name} conflicts with an input file; pass one or the other"
+                    )));
+                }
+                target = Some(Target::Kernel(name.clone()));
+            }
+            "--param" => {
+                let kv = it
+                    .next()
+                    .ok_or_else(|| err("--param requires NAME=VALUE"))?;
+                let (name, value) = kv
+                    .split_once('=')
+                    .ok_or_else(|| err(format!("malformed --param `{kv}` (want NAME=VALUE)")))?;
+                let value: i128 = value
+                    .parse()
+                    .map_err(|_| err(format!("malformed --param value in `{kv}`")))?;
+                if value <= 0 {
+                    return Err(err(format!(
+                        "--param {name}={value}: simulated instances must be positive"
+                    )));
+                }
+                params.push((name.to_string(), value));
+            }
+            "--cache" => {
+                let list = it
+                    .next()
+                    .ok_or_else(|| err("--cache requires a comma-separated word-count list"))?;
+                for piece in list.split(',') {
+                    let words: usize = piece
+                        .trim()
+                        .parse()
+                        .map_err(|_| err(format!("malformed --cache entry `{piece}`")))?;
+                    if words == 0 {
+                        return Err(err("--cache sizes must be positive"));
+                    }
+                    cache_sizes.push(words);
+                }
+            }
+            "--max-trace" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("--max-trace requires an access count"))?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| err(format!("malformed --max-trace `{v}`")))?;
+                if n == 0 {
+                    return Err(err("--max-trace must be positive"));
+                }
+                max_trace = Some(n);
+            }
+            "--deadline-ms" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("--deadline-ms requires a millisecond count"))?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| err(format!("malformed --deadline-ms `{v}`")))?;
+                if ms == 0 {
+                    return Err(err("--deadline-ms must be positive"));
+                }
+                deadline_ms = Some(ms);
+            }
+            other if other.starts_with('-') => {
+                return Err(err(format!("unknown simulate option `{other}`\n\n{USAGE}")));
+            }
+            file => {
+                if target.is_some() {
+                    return Err(err(format!("unexpected argument `{file}`")));
+                }
+                target = Some(Target::File(file.to_string()));
+            }
+        }
+    }
+    let target = target.ok_or_else(|| err(format!("simulate: missing input\n\n{USAGE}")))?;
+    Ok(SimulateArgs {
+        target,
+        json,
+        params,
+        cache_sizes,
+        opt,
+        max_trace,
+        serial,
+        deadline_ms,
+    })
+}
+
+/// Renders the tightness report as human-readable text (the non-`--json`
+/// tail of `iolb simulate`).
+fn render_tightness_text(report: &iolb_core::TightnessReport) -> String {
+    let mut out = String::from("\nmeasured locality (LRU simulation of the generated trace):\n");
+    for inst in &report.instances {
+        if let Some(reason) = &inst.skipped {
+            out.push_str(&format!("  {} — skipped: {reason}\n", inst.instance));
+            continue;
+        }
+        out.push_str(&format!(
+            "  {} — {} accesses, {} distinct addresses, {} ops\n",
+            inst.instance, inst.trace_len, inst.distinct_addresses, inst.ops
+        ));
+        for cp in &inst.caches {
+            let q_low = cp
+                .q_low
+                .map(|q| format!("{q:.1}"))
+                .unwrap_or_else(|| "-".into());
+            let ratio = cp
+                .tightness_lru()
+                .map(|t| format!("{t:.4}"))
+                .unwrap_or_else(|| "-".into());
+            let opt = cp
+                .opt
+                .as_ref()
+                .map(|o| format!(", OPT misses {}", o.misses))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "    S={:>8}: LRU misses {:>12}{opt}, Q_low {q_low}, tightness {ratio}\n",
+                cp.cache_words, cp.lru.misses
+            ));
+        }
+    }
+    out.push_str(&format!("{}\n", report.summary_line()));
+    out
+}
+
+fn cmd_simulate(args: &[String]) -> Result<String, CliError> {
+    let args = parse_simulate_args(args)?;
+    let mut analyzer = Analyzer::new().parallel(!args.serial);
+    if matches!(args.target, Target::File(_)) {
+        analyzer = analyzer.max_parametrization_depth(0);
+    }
+    if let Some(ms) = args.deadline_ms {
+        analyzer = analyzer.deadline(std::time::Duration::from_millis(ms));
+    }
+
+    let mut options = iolb_core::TightnessOptions::default()
+        .cache_sizes(&args.cache_sizes)
+        .opt(args.opt);
+    if !args.params.is_empty() {
+        let mut instance = iolb_core::Instance::new();
+        for (name, value) in &args.params {
+            instance = instance.set(name, *value);
+        }
+        options = options.instance(instance);
+    }
+    if let Some(n) = args.max_trace {
+        options = options.max_trace(n);
+    }
+
+    let outcome = match &args.target {
+        Target::File(path) => analyzer.analyze_with_tightness(&IolbFile::new(path), &options),
+        Target::Kernel(kname) => {
+            let kernel = iolb_polybench::kernel_by_name(kname).ok_or_else(|| {
+                err(format!(
+                    "unknown kernel `{kname}` (see `iolb kernels` for the list)"
+                ))
+            })?;
+            analyzer.analyze_with_tightness(&kernel, &options)
+        }
+    }
+    .map_err(|e| err(e.to_string()))?;
+    if args.json {
+        return Ok(outcome.to_json());
+    }
+    let mut text = outcome.report.to_string();
+    let report = outcome
+        .tightness
+        .as_ref()
+        .expect("analyze_with_tightness always attaches a report");
+    text.push_str(&render_tightness_text(report));
+    Ok(text)
 }
 
 fn cmd_kernels(args: &[String]) -> Result<String, CliError> {
@@ -899,6 +1126,94 @@ mod tests {
         // `--workers 0` is clamped to one worker rather than deadlocking.
         let clamped = parse_serve_args(&strs(&["--stdio", "--workers", "0"])).unwrap();
         assert_eq!(clamped.config.workers, 1);
+    }
+
+    #[test]
+    fn simulate_kernel_text_and_json() {
+        let text = run(&[
+            "simulate".into(),
+            "--kernel".into(),
+            "gemm".into(),
+            "--param".into(),
+            "Ni=12".into(),
+            "--param".into(),
+            "Nj=10".into(),
+            "--param".into(),
+            "Nk=8".into(),
+            "--cache".into(),
+            "64,1024".into(),
+            "--opt".into(),
+        ])
+        .unwrap();
+        assert!(text.contains("measured locality"), "{text}");
+        assert!(text.contains("LRU misses"), "{text}");
+        assert!(text.contains("OPT misses"), "{text}");
+        assert!(text.contains("tightness:"), "{text}");
+
+        let json = run(&[
+            "simulate".into(),
+            "--kernel".into(),
+            "gemm".into(),
+            "--json".into(),
+        ])
+        .unwrap();
+        assert!(json.contains("\"tightness\": {"), "{json}");
+        assert!(json.contains("\"lru_misses\""), "{json}");
+        assert!(json.contains("\"tightness_lru\""), "{json}");
+    }
+
+    #[test]
+    fn simulate_file_works_end_to_end() {
+        let json = run(&[
+            "simulate".into(),
+            example("gemm.iolb"),
+            "--param".into(),
+            "Ni=12".into(),
+            "--param".into(),
+            "Nj=10".into(),
+            "--param".into(),
+            "Nk=8".into(),
+            "--json".into(),
+        ])
+        .unwrap();
+        assert!(json.contains("\"tightness\": {"), "{json}");
+        // 12*10*8 = 960 statement points, 4 accesses each (A, B, C|Cin, C).
+        assert!(json.contains("\"trace_len\": 3840"), "{json}");
+    }
+
+    #[test]
+    fn simulate_rejects_malformed_options() {
+        for (args, want) in [
+            (vec!["simulate"], "missing input"),
+            (
+                vec!["simulate", "--kernel", "nonesuch"],
+                "unknown kernel `nonesuch`",
+            ),
+            (
+                vec!["simulate", "--kernel", "gemm", "--cache", "big"],
+                "malformed --cache",
+            ),
+            (
+                vec!["simulate", "--kernel", "gemm", "--cache", "0"],
+                "must be positive",
+            ),
+            (
+                vec!["simulate", "--kernel", "gemm", "--param", "Ni=-3"],
+                "must be positive",
+            ),
+            (
+                vec!["simulate", "--kernel", "gemm", "--max-trace", "0"],
+                "must be positive",
+            ),
+            (
+                vec!["simulate", "--kernel", "gemm", "--frobnicate"],
+                "unknown simulate option",
+            ),
+        ] {
+            let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let e = run(&owned).unwrap_err();
+            assert!(e.0.contains(want), "{args:?}: {}", e.0);
+        }
     }
 
     #[test]

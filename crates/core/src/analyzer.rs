@@ -43,6 +43,7 @@ use crate::bound::Instance;
 use crate::driver::{analyze_interruptible, Analysis, AnalysisOptions};
 use crate::report::Report;
 use crate::result_cache::{AnalysisFingerprint, Claim, ResultCache, Tier};
+use crate::tightness::{TightnessOptions, TightnessReport};
 use crate::workload::{PreparedWorkload, Workload, WorkloadError};
 use iolb_poly::{stats::Snapshot, Budget, EngineConfig, EngineCtx, EngineInterrupt};
 use std::sync::Arc;
@@ -363,6 +364,44 @@ impl Analyzer {
         &self,
         workload: &W,
     ) -> Result<AnalysisOutcome, AnalyzeError> {
+        self.analyze_inner(workload, None)
+    }
+
+    /// Like [`Analyzer::analyze`], but additionally runs the two-sided
+    /// tightness pass (see [`crate::tightness`]): the workload's DFG is
+    /// walked at each requested instance, the trace is simulated through the
+    /// LRU (and optionally Belady) cache model, and the outcome carries a
+    /// [`TightnessReport`] comparing measured misses against `Q_low`.
+    ///
+    /// Trace generation honours the request's
+    /// [budget](Analyzer::budget)/[deadline](Analyzer::deadline) and the
+    /// options' trace-length budget: an oversized instance degrades to a
+    /// skipped report entry instead of hanging the request. This path never
+    /// consults the [result cache](Analyzer::result_cache) — the plain
+    /// report's bytes (and its cache entries) stay unchanged.
+    pub fn analyze_with_tightness<W: Workload + ?Sized>(
+        &self,
+        workload: &W,
+        options: &TightnessOptions,
+    ) -> Result<AnalysisOutcome, AnalyzeError> {
+        self.analyze_inner(workload, Some(options))
+    }
+
+    /// Convenience wrapper: [`Analyzer::analyze_with_tightness`] with
+    /// default options (one auto-derived small instance, the default cache
+    /// size, LRU only).
+    pub fn simulate<W: Workload + ?Sized>(
+        &self,
+        workload: &W,
+    ) -> Result<AnalysisOutcome, AnalyzeError> {
+        self.analyze_with_tightness(workload, &TightnessOptions::default())
+    }
+
+    fn analyze_inner<W: Workload + ?Sized>(
+        &self,
+        workload: &W,
+        tightness_options: Option<&TightnessOptions>,
+    ) -> Result<AnalysisOutcome, AnalyzeError> {
         let engine = match &self.engine {
             Some(engine) => {
                 if let Some(enabled) = self.cache_enabled {
@@ -419,6 +458,12 @@ impl Analyzer {
             let analysis = analyze_interruptible(&prepared.dfg, &options)
                 .map_err(AnalyzeError::Interrupted)?;
             let elapsed = start.elapsed();
+            // The tightness pass runs inside the same budget scope: a
+            // deadline tripping mid-walk degrades the affected instances to
+            // skipped entries (handled inside `measure`), never the request.
+            let tightness = tightness_options.map(|topts| {
+                crate::tightness::measure(&prepared.dfg, &analysis, &prepared.params, topts)
+            });
             let report = Report::new(&prepared.name, analysis, prepared.ops);
             Ok(AnalysisOutcome {
                 report,
@@ -426,6 +471,7 @@ impl Analyzer {
                 stats: engine.stats().delta_since(&stats_before),
                 cache_entries: engine.cache_len(),
                 elapsed,
+                tightness,
                 engine: engine.clone(),
             })
         });
@@ -553,6 +599,10 @@ pub struct AnalysisOutcome {
     pub cache_entries: usize,
     /// Wall-clock time of the driver run (excludes workload preparation).
     pub elapsed: Duration,
+    /// The two-sided locality report, when the request ran through
+    /// [`Analyzer::analyze_with_tightness`] / [`Analyzer::simulate`]
+    /// (`None` on the plain path, whose report bytes stay unchanged).
+    pub tightness: Option<TightnessReport>,
     engine: Arc<EngineCtx>,
 }
 
@@ -602,6 +652,12 @@ impl AnalysisOutcome {
         ));
         out.push_str("  }");
         out.push_str(&format!(",\n  \"preflight\": {}", self.preflight.to_json()));
+        // The tightness block is only present on the simulate path, so plain
+        // analysis reports (and their result-cache entries) keep their exact
+        // bytes.
+        if let Some(tightness) = &self.tightness {
+            out.push_str(&format!(",\n  \"tightness\": {}", tightness.to_json()));
+        }
         // Degradation fields are only emitted when a budget tripped, so
         // un-budgeted reports stay byte-identical to earlier versions.
         if let Some(degradation) = &self.analysis().degradation {
@@ -692,6 +748,19 @@ mod tests {
             .unwrap()
     }
 
+    /// The built-in gemm DFG as a session-rebuilding workload. (The `Kernel`
+    /// type itself implements the *other* build of this crate in the
+    /// dev-dependency cycle, so unit tests go through the DFG.)
+    struct GemmDfg;
+    impl Workload for GemmDfg {
+        fn prepare(&self) -> Result<PreparedWorkload, WorkloadError> {
+            iolb_polybench::kernel_by_name("gemm")
+                .unwrap()
+                .dfg
+                .prepare()
+        }
+    }
+
     #[test]
     fn builder_analyzes_and_reports_session_stats() {
         let outcome = Analyzer::new()
@@ -765,6 +834,7 @@ mod tests {
             stats: Snapshot::default(),
             cache_entries: 0,
             elapsed: Duration::ZERO,
+            tightness: None,
             engine: outcome.engine.clone(),
         };
         let json = idle.to_json();
@@ -835,6 +905,7 @@ mod tests {
             stats: outcome.stats,
             cache_entries: outcome.cache_entries,
             elapsed: outcome.elapsed,
+            tightness: None,
             engine: outcome.engine.clone(),
         };
         let json = degraded.to_json();
@@ -842,6 +913,57 @@ mod tests {
         assert!(json.contains("\"tripped\": \"deadline\""), "{json}");
         assert!(json.contains("\"sweep_completed\": 1"), "{json}");
         assert!(json.contains("\"sweep_total\": 3"), "{json}");
+    }
+
+    #[test]
+    fn simulate_attaches_a_sound_tightness_report() {
+        let outcome = Analyzer::new().parallel(false).simulate(&GemmDfg).unwrap();
+        let tightness = outcome.tightness.as_ref().expect("simulate ran");
+        assert_eq!(tightness.instances.len(), 1, "one auto-derived instance");
+        let inst = &tightness.instances[0];
+        assert!(inst.skipped.is_none(), "{:?}", inst.skipped);
+        assert!(inst.trace_len > 0);
+        let point = &inst.caches[0];
+        assert!(point.lru.misses >= inst.distinct_addresses);
+        let q_low = point.q_low.expect("q_low evaluates");
+        assert!(
+            q_low <= point.lru.misses as f64,
+            "soundness: Q_low = {q_low} must not exceed measured misses {}",
+            point.lru.misses
+        );
+        let ratio = point.tightness_lru().unwrap();
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio = {ratio}");
+        let json = outcome.to_json();
+        assert!(json.contains("\"tightness\""), "{json}");
+        assert!(json.contains("\"lru_misses\""), "{json}");
+    }
+
+    #[test]
+    fn plain_analysis_reports_carry_no_tightness_block() {
+        let outcome = Analyzer::new().parallel(false).analyze(&GemmDfg).unwrap();
+        assert!(outcome.tightness.is_none());
+        assert!(!outcome.to_json().contains("\"tightness\""));
+    }
+
+    #[test]
+    fn expired_deadline_degrades_tightness_to_skipped_entries() {
+        // The analysis itself survives a mid-request trip (degradation), and
+        // the tightness pass must mark its instances skipped rather than
+        // erroring out — but with a zero deadline the request fails before
+        // any bound exists, so drive the skip through an oversized instance
+        // instead: the walk degrades, the analysis stands.
+        let options = TightnessOptions::default()
+            .instance(Instance::new().set("Ni", 1 << 30).set("Nj", 4).set("Nk", 4));
+        let outcome = Analyzer::new()
+            .parallel(false)
+            .analyze_with_tightness(&GemmDfg, &options)
+            .unwrap();
+        let tightness = outcome.tightness.as_ref().unwrap();
+        assert_eq!(tightness.instances.len(), 1);
+        assert!(tightness.instances[0].skipped.is_some());
+        assert!(tightness.instances[0].caches.is_empty());
+        assert!(outcome.analysis().degradation.is_none());
+        assert!(outcome.to_json().contains("\"skipped\": \""));
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub mod partition;
 pub mod pool;
 pub mod report;
 pub mod result_cache;
+pub mod tightness;
 pub mod wavefront;
 pub mod workload;
 
@@ -93,6 +94,9 @@ pub use oi::{OiSummary, Regime};
 pub use report::Report;
 pub use result_cache::{
     AnalysisFingerprint, DiskTierConfig, ResultCache, ResultCacheConfig, ResultCacheStats,
+};
+pub use tightness::{
+    CachePoint, GeneratedTrace, InstanceTightness, TightnessOptions, TightnessReport,
 };
 pub use workload::{PreparedWorkload, Workload, WorkloadError};
 

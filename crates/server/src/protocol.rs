@@ -95,11 +95,33 @@ pub struct BudgetSpec {
     pub cache_entries: Option<usize>,
 }
 
+/// A parsed `simulate` request: a full analysis plus the trace-simulation
+/// knobs of the tightness pass. Responses carry the ordinary `report`
+/// document with its `tightness` block populated.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimulateRequest {
+    /// The analysis half: identical fields and semantics to `analyze`.
+    pub analyze: AnalyzeRequest,
+    /// `"instance"`: concrete positive parameter values for trace
+    /// generation; empty means the default all-16 instance.
+    pub instance: Vec<(String, i128)>,
+    /// `"cache_sizes"`: fast-memory sizes in words to simulate (default
+    /// 1024 when empty).
+    pub cache_sizes: Vec<usize>,
+    /// `"opt"`: also simulate Belady/optimal replacement.
+    pub opt: bool,
+    /// `"max_trace"`: trace-length budget; oversized instances degrade to
+    /// a skipped entry.
+    pub max_trace: Option<u64>,
+}
+
 /// Any parsed request line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// `op: "analyze"` (or omitted): run an analysis.
     Analyze(Box<AnalyzeRequest>),
+    /// `op: "simulate"`: analysis plus the trace-simulation tightness pass.
+    Simulate(Box<SimulateRequest>),
     /// `op: "ping"`: liveness probe.
     Ping(Json),
     /// `op: "stats"`: server/pool/queue counters.
@@ -144,6 +166,27 @@ const ANALYZE_FIELDS: &[&str] = &[
     "budget",
 ];
 
+/// The additional top-level fields a `simulate` request may carry.
+const SIMULATE_FIELDS: &[&str] = &[
+    "id",
+    "op",
+    "kernel",
+    "source",
+    "path",
+    "params",
+    "cache_param",
+    "cache_size",
+    "cache_cap",
+    "depth",
+    "parallel",
+    "timeout_ms",
+    "budget",
+    "instance",
+    "cache_sizes",
+    "opt",
+    "max_trace",
+];
+
 /// Every field a `budget` object may carry.
 const BUDGET_FIELDS: &[&str] = &["fm_steps", "constraints", "cache_entries"];
 
@@ -178,11 +221,15 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
                 _ => Request::Shutdown(id),
             })
         }
-        "analyze" => parse_analyze(&doc, fields, id).map(|r| Request::Analyze(Box::new(r))),
+        "analyze" => {
+            parse_analyze(&doc, fields, id, ANALYZE_FIELDS).map(|r| Request::Analyze(Box::new(r)))
+        }
+        "simulate" => parse_simulate(&doc, fields, id).map(|r| Request::Simulate(Box::new(r))),
         other => Err(bad(
             &id,
             format!(
-                "unknown op \"{other}\" (want \"analyze\", \"ping\", \"stats\" or \"shutdown\")"
+                "unknown op \"{other}\" (want \"analyze\", \"simulate\", \"ping\", \"stats\" or \
+                 \"shutdown\")"
             ),
         )),
     }
@@ -192,11 +239,9 @@ fn parse_analyze(
     doc: &Json,
     fields: &[(String, Json)],
     id: Json,
+    allowed: &[&str],
 ) -> Result<AnalyzeRequest, RequestError> {
-    if let Some((key, _)) = fields
-        .iter()
-        .find(|(k, _)| !ANALYZE_FIELDS.contains(&k.as_str()))
-    {
+    if let Some((key, _)) = fields.iter().find(|(k, _)| !allowed.contains(&k.as_str())) {
         return Err(bad(&id, format!("unknown field \"{key}\"")));
     }
 
@@ -390,6 +435,104 @@ fn parse_analyze(
     })
 }
 
+fn parse_simulate(
+    doc: &Json,
+    fields: &[(String, Json)],
+    id: Json,
+) -> Result<SimulateRequest, RequestError> {
+    let analyze = parse_analyze(doc, fields, id.clone(), SIMULATE_FIELDS)?;
+
+    let mut instance: Vec<(String, i128)> = Vec::new();
+    if let Some(value) = doc.get("instance") {
+        let obj = value.as_obj().ok_or_else(|| {
+            bad(
+                &id,
+                format!(
+                    "field \"instance\" must be an object of name -> positive integer, got {}",
+                    value.type_name()
+                ),
+            )
+        })?;
+        for (name, v) in obj {
+            match v.as_i128() {
+                Some(n) if n > 0 => instance.push((name.clone(), n)),
+                _ => {
+                    return Err(bad(
+                        &id,
+                        format!(
+                            "instance parameter \"{name}\" must be a positive integer, got {}",
+                            v.render()
+                        ),
+                    ))
+                }
+            }
+        }
+    }
+
+    let mut cache_sizes: Vec<usize> = Vec::new();
+    if let Some(value) = doc.get("cache_sizes") {
+        let arr = match value {
+            Json::Arr(items) => items,
+            other => {
+                return Err(bad(
+                    &id,
+                    format!(
+                        "field \"cache_sizes\" must be an array of positive integers, got {}",
+                        other.type_name()
+                    ),
+                ))
+            }
+        };
+        for item in arr {
+            match item.as_usize() {
+                Some(n) if n > 0 => cache_sizes.push(n),
+                _ => {
+                    return Err(bad(
+                        &id,
+                        format!(
+                            "cache sizes must be positive integers, got {}",
+                            item.render()
+                        ),
+                    ))
+                }
+            }
+        }
+    }
+
+    let opt = match doc.get("opt") {
+        None => false,
+        Some(value) => value.as_bool().ok_or_else(|| {
+            bad(
+                &id,
+                format!("field \"opt\" must be a boolean, got {}", value.type_name()),
+            )
+        })?,
+    };
+    let max_trace = match doc.get("max_trace") {
+        None => None,
+        Some(value) => match value.as_u64() {
+            Some(n) if n > 0 => Some(n),
+            _ => {
+                return Err(bad(
+                    &id,
+                    format!(
+                        "field \"max_trace\" must be a positive integer, got {}",
+                        value.render()
+                    ),
+                ))
+            }
+        },
+    };
+
+    Ok(SimulateRequest {
+        analyze,
+        instance,
+        cache_sizes,
+        opt,
+        max_trace,
+    })
+}
+
 /// Per-request service-side measurements, reported in the `server` object
 /// of every successful response.
 #[derive(Clone, Copy, Debug)]
@@ -568,6 +711,85 @@ mod tests {
                 ..BudgetSpec::default()
             })
         );
+    }
+
+    #[test]
+    fn parses_a_simulate_request() {
+        let req = parse_request(
+            r#"{"id": "s1", "op": "simulate", "kernel": "gemm",
+                "instance": {"Ni": 12, "Nj": 10, "Nk": 8},
+                "cache_sizes": [64, 1024], "opt": true, "max_trace": 50000}"#,
+        )
+        .unwrap();
+        let Request::Simulate(req) = req else {
+            panic!("want simulate");
+        };
+        assert_eq!(req.analyze.workload, WorkloadSpec::Kernel("gemm".into()));
+        assert_eq!(
+            req.instance,
+            vec![
+                ("Ni".to_string(), 12),
+                ("Nj".to_string(), 10),
+                ("Nk".to_string(), 8)
+            ]
+        );
+        assert_eq!(req.cache_sizes, vec![64, 1024]);
+        assert!(req.opt);
+        assert_eq!(req.max_trace, Some(50_000));
+
+        // All the simulation knobs are optional.
+        let req = parse_request(r#"{"op": "simulate", "kernel": "gemm"}"#).unwrap();
+        let Request::Simulate(req) = req else {
+            panic!("want simulate");
+        };
+        assert!(req.instance.is_empty());
+        assert!(req.cache_sizes.is_empty());
+        assert!(!req.opt);
+        assert_eq!(req.max_trace, None);
+    }
+
+    #[test]
+    fn rejects_malformed_simulate_requests() {
+        let cases = [
+            (
+                r#"{"op": "simulate", "kernel": "a", "instance": [1]}"#,
+                "must be an object",
+            ),
+            (
+                r#"{"op": "simulate", "kernel": "a", "instance": {"N": 0}}"#,
+                "positive integer",
+            ),
+            (
+                r#"{"op": "simulate", "kernel": "a", "cache_sizes": 64}"#,
+                "must be an array",
+            ),
+            (
+                r#"{"op": "simulate", "kernel": "a", "cache_sizes": [64, 0]}"#,
+                "positive integers",
+            ),
+            (
+                r#"{"op": "simulate", "kernel": "a", "opt": 1}"#,
+                "must be a boolean",
+            ),
+            (
+                r#"{"op": "simulate", "kernel": "a", "max_trace": -4}"#,
+                "positive integer",
+            ),
+            // Simulate-only fields stay rejected on plain analyze.
+            (
+                r#"{"kernel": "a", "cache_sizes": [64]}"#,
+                "unknown field \"cache_sizes\"",
+            ),
+            (
+                r#"{"kernel": "a", "instance": {"N": 4}}"#,
+                "unknown field \"instance\"",
+            ),
+        ];
+        for (line, want) in cases {
+            let e = parse_request(line).unwrap_err();
+            assert_eq!(e.code, ERR_BAD_REQUEST, "{line}");
+            assert!(e.message.contains(want), "{line}: {}", e.message);
+        }
     }
 
     #[test]

@@ -34,13 +34,16 @@
 
 use crate::protocol::{
     self, ok_response, overloaded_response, parse_request, AnalyzeRequest, CacheInfo, DegradedInfo,
-    Request, ServiceTimings, WorkloadSpec, ERR_RESOURCE_LIMIT, ERR_SHUTTING_DOWN, ERR_TIMEOUT,
-    ERR_UNKNOWN_KERNEL, ERR_WORKLOAD,
+    Request, ServiceTimings, SimulateRequest, WorkloadSpec, ERR_RESOURCE_LIMIT, ERR_SHUTTING_DOWN,
+    ERR_TIMEOUT, ERR_UNKNOWN_KERNEL, ERR_WORKLOAD,
 };
 use iolb_core::pool::SessionPool;
 use iolb_core::preflight::CostClass;
 use iolb_core::result_cache::Claim;
-use iolb_core::{AnalyzeError, Analyzer, DiskTierConfig, ResultCache, ResultCacheConfig, Workload};
+use iolb_core::{
+    AnalyzeError, Analyzer, DiskTierConfig, Instance, ResultCache, ResultCacheConfig,
+    TightnessOptions, Workload,
+};
 use iolb_poly::{Budget, CancelToken, EngineConfig, EngineInterrupt};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
@@ -94,9 +97,21 @@ impl Default for ServerConfig {
     }
 }
 
+/// The trace-simulation knobs of a `simulate` job, detached from the
+/// analysis half so the queue/worker pipeline is shared with `analyze`.
+struct SimulateSpec {
+    instance: Vec<(String, i128)>,
+    cache_sizes: Vec<usize>,
+    opt: bool,
+    max_trace: Option<u64>,
+}
+
 /// One queued analysis.
 struct Job {
     request: AnalyzeRequest,
+    /// `Some` for `simulate` jobs: run the tightness pass after the
+    /// analysis and attach the measured-locality report.
+    simulate: Option<SimulateSpec>,
     reply: mpsc::Sender<String>,
     enqueued_at: Instant,
     /// Cancelled by the client when it stops waiting (timeout). A worker
@@ -176,6 +191,10 @@ struct Metrics {
     /// Sessions dropped instead of pooled because their analysis was
     /// interrupted mid-query.
     sessions_retired: AtomicU64,
+    /// `simulate` requests received (also counted under `received`).
+    simulate_requests: AtomicU64,
+    /// `simulate` requests that completed with a tightness report attached.
+    simulate_completed: AtomicU64,
     /// Per-class (small = 0, large = 1) total service time of completed
     /// requests in microseconds, plus the sample counts — the running means
     /// behind the `retry_after_ms` hints. Split by class so a heat-3d-class
@@ -450,18 +469,50 @@ impl Server {
                     id.render()
                 )
             }
-            Request::Analyze(request) => self.handle_analyze(*request),
+            Request::Analyze(request) => self.handle_analyze(*request, None),
+            Request::Simulate(request) => {
+                let SimulateRequest {
+                    analyze,
+                    instance,
+                    cache_sizes,
+                    opt,
+                    max_trace,
+                } = *request;
+                self.handle_analyze(
+                    analyze,
+                    Some(SimulateSpec {
+                        instance,
+                        cache_sizes,
+                        opt,
+                        max_trace,
+                    }),
+                )
+            }
         }
     }
 
-    fn handle_analyze(&self, request: AnalyzeRequest) -> String {
+    fn handle_analyze(&self, request: AnalyzeRequest, simulate: Option<SimulateSpec>) -> String {
         let inner = &*self.inner;
         inner.metrics.received.fetch_add(1, Ordering::Relaxed);
+        if simulate.is_some() {
+            inner
+                .metrics
+                .simulate_requests
+                .fetch_add(1, Ordering::Relaxed);
+        }
         let id = request.id.render();
         // Classify before taking the queue lock: preflight is microseconds
         // for kernels but compiles source programs, and runs on the
         // connection thread, never under the lock.
-        let class = inner.classify(&request.workload);
+        //
+        // Simulate jobs ride the large lane regardless of the preflight
+        // verdict: trace generation walks every statement instance, so even
+        // a preflight-small workload costs large-class service time.
+        let class = if simulate.is_some() {
+            CostClass::Large
+        } else {
+            inner.classify(&request.workload)
+        };
         let timeout = inner.effective_timeout(&request, class);
         let (reply_tx, reply_rx) = mpsc::channel();
         let cancel = CancelToken::new();
@@ -498,6 +549,7 @@ impl Server {
             }
             lane.push_back(Job {
                 request,
+                simulate,
                 reply: reply_tx,
                 enqueued_at: Instant::now(),
                 cancel: cancel.clone(),
@@ -576,6 +628,7 @@ impl Server {
              \"rejected_overloaded\":{},\"timeouts\":{},\"abandoned_skipped\":{},\
              \"abandoned_completed\":{},\"cancelled_in_flight\":{},\"degraded\":{},\
              \"resource_limited\":{},\"sessions_retired\":{},\
+             \"simulate_requests\":{},\"simulate_completed\":{},\
              \"pool\":{{\"capacity\":{},\"idle_sessions\":{},\"hits\":{},\"misses\":{},\
              \"evictions\":{},\"retired\":{}}},\
              \"result_cache\":{{\"enabled\":{},\"entries\":{},\"hits\":{},\"misses\":{},\
@@ -598,6 +651,8 @@ impl Server {
             m.degraded.load(Ordering::Relaxed),
             m.resource_limited.load(Ordering::Relaxed),
             m.sessions_retired.load(Ordering::Relaxed),
+            m.simulate_requests.load(Ordering::Relaxed),
+            m.simulate_completed.load(Ordering::Relaxed),
             inner.pool.capacity(),
             inner.pool.len(),
             pool.hits,
@@ -894,10 +949,17 @@ fn execute(inner: &Inner, job: &Job, queue_ms: f64) -> String {
         analyzer = analyzer.param(name.clone(), *value);
     }
 
-    let fingerprint = inner
-        .result_cache
-        .as_ref()
-        .and_then(|_| analyzer.fingerprint(workload.as_ref()));
+    // Simulate jobs bypass the result cache entirely: the analysis
+    // fingerprint does not cover the simulation knobs (instance, cache
+    // sizes, policies), so a cached plain-analysis report could neither be
+    // replayed for a simulate request nor stored from one.
+    let fingerprint = match job.simulate {
+        Some(_) => None,
+        None => inner
+            .result_cache
+            .as_ref()
+            .and_then(|_| analyzer.fingerprint(workload.as_ref())),
+    };
     let fingerprint_hex = fingerprint.map(|fp| fp.to_hex());
     // `Some` exactly when this request must compute *and* publish (or
     // abandon, on every non-clean path — including panics, via `Drop`).
@@ -963,11 +1025,36 @@ fn execute(inner: &Inner, job: &Job, queue_ms: f64) -> String {
     }
     let analyzer = analyzer.engine(checkout.engine.clone()).budget(budget);
 
-    let outcome = analyzer.analyze(workload.as_ref());
+    let outcome = match &job.simulate {
+        None => analyzer.analyze(workload.as_ref()),
+        Some(spec) => {
+            let mut opts = TightnessOptions::default().opt(spec.opt);
+            if !spec.cache_sizes.is_empty() {
+                opts = opts.cache_sizes(&spec.cache_sizes);
+            }
+            if !spec.instance.is_empty() {
+                let mut instance = Instance::new();
+                for (name, value) in &spec.instance {
+                    instance = instance.set(name, *value);
+                }
+                opts = opts.instance(instance);
+            }
+            if let Some(n) = spec.max_trace {
+                opts = opts.max_trace(n);
+            }
+            analyzer.analyze_with_tightness(workload.as_ref(), &opts)
+        }
+    };
 
     let (response, interrupted) = match outcome {
         Ok(outcome) => {
             inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            if job.simulate.is_some() && outcome.tightness.is_some() {
+                inner
+                    .metrics
+                    .simulate_completed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             let service_ms = started.elapsed().as_secs_f64() * 1e3;
             inner.metrics.record_service(job.class, service_ms);
             let timings = ServiceTimings {
@@ -1086,6 +1173,98 @@ mod tests {
         assert_eq!(
             server_obj.get("session_warm"),
             Some(&json::Json::Bool(false))
+        );
+        s.shutdown();
+    }
+
+    #[test]
+    fn serves_a_simulate_request_with_a_tightness_block() {
+        let s = server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let response = s.handle_line(
+            r#"{"id": "t1", "op": "simulate", "kernel": "gemm",
+                "instance": {"Ni": 12, "Nj": 10, "Nk": 8},
+                "cache_sizes": [64, 1024], "opt": true}"#,
+        );
+        let doc = json::parse(&response).expect("response is valid JSON");
+        assert_eq!(
+            doc.get("status").unwrap().as_str(),
+            Some("ok"),
+            "{response}"
+        );
+        // Simulate jobs ride the large lane and bypass the result cache.
+        assert_eq!(
+            doc.get("server")
+                .unwrap()
+                .get("cost_class")
+                .unwrap()
+                .as_str(),
+            Some("large")
+        );
+        assert_eq!(doc.get("cached"), Some(&json::Json::Bool(false)));
+        assert_eq!(doc.get("fingerprint"), None, "uncacheable: no fingerprint");
+
+        // The report carries the measured-locality block next to the bound.
+        let report = doc.get("report").unwrap();
+        assert!(report.get("q_low").is_some());
+        let tightness = report.get("tightness").expect("tightness block attached");
+        let json::Json::Arr(instances) = tightness.get("instances").unwrap() else {
+            panic!("instances is an array");
+        };
+        assert_eq!(instances.len(), 1);
+        let json::Json::Arr(caches) = instances[0].get("caches").unwrap() else {
+            panic!("caches is an array");
+        };
+        assert_eq!(caches.len(), 2, "both requested cache sizes simulated");
+        for point in caches {
+            let misses = point.get("lru_misses").unwrap().as_u64().unwrap();
+            let opt_misses = point.get("opt_misses").unwrap().as_u64().unwrap();
+            assert!(misses > 0);
+            assert!(opt_misses <= misses, "Belady never loses to LRU");
+        }
+
+        // A second, cache-hittable plain analyze is unaffected, and the
+        // stats counters saw exactly one simulate.
+        let plain = s.handle_line(r#"{"id": "t2", "kernel": "gemm"}"#);
+        let plain = json::parse(&plain).unwrap();
+        assert_eq!(plain.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(
+            plain.get("report").unwrap().get("tightness"),
+            None,
+            "plain analyze stays tightness-free"
+        );
+        let stats = s.handle_line(r#"{"op": "stats"}"#);
+        let stats = json::parse(&stats).unwrap();
+        let server_stats = stats.get("server_stats").unwrap();
+        assert_eq!(
+            server_stats.get("simulate_requests"),
+            Some(&json::Json::Int(1))
+        );
+        assert_eq!(
+            server_stats.get("simulate_completed"),
+            Some(&json::Json::Int(1))
+        );
+        s.shutdown();
+    }
+
+    #[test]
+    fn simulate_rejects_bad_knobs_without_queueing() {
+        let s = server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let response =
+            s.handle_line(r#"{"id": 9, "op": "simulate", "kernel": "gemm", "cache_sizes": [0]}"#);
+        let doc = json::parse(&response).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("error"));
+        let stats = s.handle_line(r#"{"op": "stats"}"#);
+        let stats = json::parse(&stats).unwrap();
+        assert_eq!(
+            stats.get("server_stats").unwrap().get("simulate_requests"),
+            Some(&json::Json::Int(0)),
+            "a parse rejection never reaches the queue"
         );
         s.shutdown();
     }

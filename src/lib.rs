@@ -131,8 +131,9 @@ pub use iolb_poly::{Budget, CancelToken, EngineConfig, EngineCtx, EngineInterrup
 pub mod prelude {
     pub use iolb_core::{
         analyze, analyze_interruptible, Analysis, AnalysisFingerprint, AnalysisOptions,
-        AnalysisOutcome, AnalysisReply, AnalyzeError, Analyzer, Degradation, DiskTierConfig,
-        Instance, OiSummary, Regime, Report, ResultCache, ResultCacheConfig, Workload,
+        AnalysisOutcome, AnalysisReply, AnalyzeError, Analyzer, CachePoint, Degradation,
+        DiskTierConfig, GeneratedTrace, Instance, InstanceTightness, OiSummary, Regime, Report,
+        ResultCache, ResultCacheConfig, TightnessOptions, TightnessReport, Workload,
     };
     pub use iolb_dfg::{genpaths, Dfg, GenPathsOptions};
     pub use iolb_poly::{

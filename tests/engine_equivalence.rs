@@ -368,3 +368,78 @@ fn result_cache_replays_every_kernel_byte_identically_across_tiers() {
     assert_eq!(stats.disk_corrupt, 0);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The lower-bound soundness gate: on every kernel with a simulatable
+/// instance, the measured LRU miss count must dominate the evaluated
+/// parametric `Q_low` at that instance and cache size — a kernel failing
+/// this is an engine bug, not a tightness shortfall. And turning the
+/// tightness pass on must leave the analytical `q_low` expression
+/// byte-identical to the plain path on all 30 kernels: simulation is
+/// observation, not perturbation.
+#[test]
+fn measured_lru_misses_dominate_q_low_and_tightness_leaves_q_low_byte_identical() {
+    // Two regimes per kernel: a thrashing cache (64 words) and one large
+    // enough that the default all-16 instance fits (1024 words).
+    let opts = TightnessOptions::default().cache_sizes(&[64, 1024]);
+    let mut kernels_with_sound_points = 0usize;
+    for kernel in iolb::polybench::all_kernels() {
+        let plain = Analyzer::new().parallel(false).analyze(&kernel).unwrap();
+        let simulated = Analyzer::new()
+            .parallel(false)
+            .analyze_with_tightness(&kernel, &opts)
+            .unwrap();
+
+        assert_eq!(
+            plain.analysis().q_low.to_string(),
+            simulated.analysis().q_low.to_string(),
+            "{}: enabling the tightness pass changed q_low",
+            kernel.name
+        );
+
+        let report = simulated
+            .tightness
+            .as_ref()
+            .expect("analyze_with_tightness always attaches a report");
+        let mut sound_points = 0usize;
+        for inst in report.simulated() {
+            // Cold misses are a floor for any policy; the walker's trace
+            // must respect it.
+            for point in &inst.caches {
+                assert!(
+                    point.lru.misses >= inst.distinct_addresses,
+                    "{}: LRU misses below the compulsory floor",
+                    kernel.name
+                );
+                let Some(q_low) = point.q_low else { continue };
+                assert!(
+                    q_low <= point.lru.misses as f64 + 1e-6,
+                    "{}: UNSOUND — Q_low {} exceeds measured LRU misses {} at \
+                     {} words ({:?})",
+                    kernel.name,
+                    q_low,
+                    point.lru.misses,
+                    point.cache_words,
+                    inst.instance
+                );
+                if let Some(ratio) = point.tightness_lru() {
+                    assert!(
+                        ratio > 0.0 && ratio <= 1.0 + 1e-9,
+                        "{}: tightness ratio {ratio} outside (0, 1]",
+                        kernel.name
+                    );
+                }
+                sound_points += 1;
+            }
+        }
+        if sound_points > 0 {
+            kernels_with_sound_points += 1;
+        }
+    }
+    // The walker must actually cover the suite: a regression that silently
+    // skips most kernels (budget trips, enumeration failures) fails here.
+    assert!(
+        kernels_with_sound_points >= 25,
+        "only {kernels_with_sound_points} kernels produced simulatable \
+         instances with an evaluable Q_low"
+    );
+}
